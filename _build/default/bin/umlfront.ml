@@ -1,0 +1,411 @@
+(* umlfront: command-line front-end for the UML -> heterogeneous code
+   generation flow.
+
+     umlfront map model.xml -o model.mdl     UML -> Simulink CAAM (.mdl)
+     umlfront allocate model.xml             show the inferred thread allocation
+     umlfront simulate model.xml -n 20       map + run on the SDF executor
+     umlfront codegen model.xml -d out/      map + emit multithreaded C
+     umlfront fsm model.xml -d out/          statecharts -> C FSMs
+     umlfront dse model.xml                  design-space exploration sweep
+     umlfront partition model.xml -o p.xml   split a 1-thread model into threads
+     umlfront capture model.mdl -o model.xml reverse: CAAM .mdl -> UML XMI
+     umlfront cosim model.xml -g glue.cosim  co-simulate FSM x dataflow
+     umlfront example crane -o model.xml     dump a bundled case study as XMI
+     umlfront report model.xml               full flow summary
+
+   The input is the XMI-style XML of Umlfront_uml.Xmi. *)
+
+module U = Umlfront_uml
+module Core = Umlfront_core
+module Dataflow = Umlfront_dataflow
+module Codegen = Umlfront_codegen
+open Cmdliner
+
+let uml_arg =
+  let doc = "UML model in umlfront XMI format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.xml" ~doc)
+
+let strategy_arg =
+  let strategies =
+    [
+      ("deployment", Core.Flow.Use_deployment);
+      ("prefer-deployment", Core.Flow.Prefer_deployment);
+      ("linear", Core.Flow.Infer_linear);
+    ]
+  in
+  let doc =
+    "Thread allocation strategy: deployment (use the deployment diagram), \
+     prefer-deployment, or linear (infer by linear clustering)."
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Core.Flow.Prefer_deployment
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let cpus_arg =
+  let doc = "Fold the inferred allocation to at most $(docv) CPUs." in
+  Arg.(value & opt (some int) None & info [ "cpus" ] ~docv:"N" ~doc)
+
+let rounds_arg =
+  let doc = "Number of execution rounds." in
+  Arg.(value & opt int 10 & info [ "n"; "rounds" ] ~docv:"ROUNDS" ~doc)
+
+let out_arg =
+  let doc = "Output file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let dir_arg =
+  let doc = "Output directory." in
+  Arg.(value & opt string "." & info [ "d"; "directory" ] ~docv:"DIR" ~doc)
+
+let load path = U.Xmi.load path
+
+let effective_strategy strategy cpus =
+  match cpus with Some n -> Core.Flow.Infer_bounded n | None -> strategy
+
+let run_flow path strategy cpus =
+  Core.Flow.run ~strategy:(effective_strategy strategy cpus) (load path)
+
+let example_cmd =
+  let action name out =
+    let model =
+      match name with
+      | "didactic" -> Umlfront_casestudies.Didactic.model ()
+      | "crane" -> Umlfront_casestudies.Crane_system.model ()
+      | "synthetic" -> Umlfront_casestudies.Synthetic_system.model ()
+      | "mjpeg" -> Umlfront_casestudies.Mjpeg_system.model ()
+      | "elevator" -> Umlfront_casestudies.Elevator_system.model ()
+      | other -> failwith (Printf.sprintf "unknown example %S" other)
+    in
+    match out with
+    | Some file ->
+        U.Xmi.save model file;
+        Printf.printf "wrote %s\n" file
+    | None -> print_string (U.Xmi.to_string model)
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("didactic", "didactic"); ("crane", "crane");
+                         ("synthetic", "synthetic"); ("mjpeg", "mjpeg");
+                         ("elevator", "elevator") ])) None
+      & info [] ~docv:"NAME" ~doc:"Case study: didactic, crane, synthetic, mjpeg or elevator.")
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Dump a bundled case-study UML model as XMI")
+    Term.(const action $ name_arg $ out_arg)
+
+let dse_cmd =
+  let action path max_cpus =
+    let result = Core.Dse.explore ?max_cpus (load path) in
+    print_string (Core.Dse.summary result)
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"Design-space exploration: sweep CPU counts, report Pareto set")
+    Term.(const action $ uml_arg $ cpus_arg)
+
+let partition_cmd =
+  let action path threads out =
+    let r = Core.Partitioning.run ?threads (load path) in
+    List.iter
+      (fun (call, thread) -> Printf.printf "  %-40s -> %s\n" call thread)
+      r.Core.Partitioning.thread_of_call;
+    List.iter
+      (fun (token, p, c) -> Printf.printf "  transfer %s: %s -> %s\n" token p c)
+      r.Core.Partitioning.cut_tokens;
+    match out with
+    | Some file ->
+        U.Xmi.save r.Core.Partitioning.partitioned file;
+        Printf.printf "wrote %s\n" file
+    | None -> ()
+  in
+  let threads_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "threads" ] ~docv:"N" ~doc:"Bound the number of threads.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Automatically partition a single-threaded model into threads")
+    Term.(const action $ uml_arg $ threads_arg $ out_arg)
+
+let capture_cmd =
+  let action path out =
+    let caam = Umlfront_simulink.Mdl_parser.parse_file path in
+    let uml = Core.Capture.run caam in
+    match out with
+    | Some file ->
+        U.Xmi.save uml file;
+        Printf.printf "wrote %s\n" file
+    | None -> print_string (U.Xmi.to_string uml)
+  in
+  let mdl_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.mdl" ~doc:"CAAM .mdl file.")
+  in
+  Cmd.v
+    (Cmd.info "capture" ~doc:"Reverse mapping: capture a Simulink CAAM as a UML model")
+    Term.(const action $ mdl_arg $ out_arg)
+
+let map_cmd =
+  let action path strategy cpus out ecore =
+    let output = run_flow path strategy cpus in
+    let text = if ecore then Core.Flow.ecore_xml output else output.Core.Flow.mdl in
+    match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+    | None -> print_string text
+  in
+  let ecore_arg =
+    Arg.(
+      value & flag
+      & info [ "ecore" ]
+          ~doc:"Emit the intermediate E-core XML (Simulink meta-model) instead of .mdl.")
+  in
+  let blockdot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "block-dot" ] ~docv:"FILE"
+          ~doc:"Also write the generated block diagram as Graphviz.")
+  in
+  let with_blockdot action path strategy cpus out ecore blockdot =
+    action path strategy cpus out ecore;
+    match blockdot with
+    | Some file ->
+        let output = run_flow path strategy cpus in
+        Umlfront_simulink.Block_dot.save output.Core.Flow.caam ~path:file;
+        Printf.printf "wrote %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map a UML model to a Simulink CAAM (.mdl or E-core XML)")
+    Term.(
+      const (with_blockdot action) $ uml_arg $ strategy_arg $ cpus_arg $ out_arg
+      $ ecore_arg $ blockdot_arg)
+
+let allocate_cmd =
+  let action path dot =
+    let uml = load path in
+    let g = Core.Allocation.task_graph uml in
+    print_endline "task graph:";
+    Format.printf "%a@." Umlfront_taskgraph.Graph.pp g;
+    print_endline "linear clustering allocation:";
+    List.iter
+      (fun (th, cpu) -> Printf.printf "  %-12s -> %s\n" th cpu)
+      (Core.Allocation.infer uml);
+    match dot with
+    | Some file ->
+        let clustering =
+          Umlfront_taskgraph.Linear_clustering.run
+            (let open Umlfront_taskgraph in
+             if Algo.is_acyclic g then g
+             else
+               let back = Algo.all_back_edges g in
+               Graph.of_lists
+                 ~nodes:(List.map (fun id -> (id, Graph.node_weight g id)) (Graph.nodes g))
+                 ~edges:
+                   (List.filter (fun (s, d, _) -> not (List.mem (s, d) back))
+                      (Graph.edges g)))
+        in
+        Umlfront_taskgraph.Dot.save
+          (Umlfront_taskgraph.Dot.clustered g clustering)
+          ~path:file;
+        Printf.printf "wrote %s\n" file
+    | None -> ()
+  in
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the clustered task graph as Graphviz.")
+  in
+  Cmd.v
+    (Cmd.info "allocate" ~doc:"Show the automatic thread allocation (§4.2.3)")
+    Term.(const action $ uml_arg $ dot_arg)
+
+let simulate_cmd =
+  let action path strategy cpus rounds csv gantt =
+    let output = run_flow path strategy cpus in
+    let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
+    let outcome = Dataflow.Exec.run ~rounds sdf in
+    if csv then print_string (Dataflow.Trace_export.traces_csv outcome)
+    else
+      List.iter
+        (fun (port, samples) ->
+          Printf.printf "%s:" port;
+          Array.iter (fun v -> Printf.printf " %.6f" v) samples;
+          print_newline ())
+        outcome.Dataflow.Exec.traces;
+    if gantt then print_string (Dataflow.Trace_export.gantt sdf);
+    if not csv then
+      Format.printf "%a@." Dataflow.Timing.pp_report (Dataflow.Timing.evaluate sdf)
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the traces as CSV instead of text.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of one iteration.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Map and execute the CAAM on the SDF simulator")
+    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg)
+
+let codegen_cmd =
+  let action path strategy cpus rounds dir lang =
+    let output = run_flow path strategy cpus in
+    (match lang with
+    | `C ->
+        Codegen.Gen_threads.save ~rounds output.Core.Flow.caam ~dir;
+        Printf.printf "wrote model.c, sfunctions.[ch], fifo.[ch] to %s\n" dir
+    | `Java ->
+        Codegen.Gen_java.save ~rounds output.Core.Flow.caam ~dir;
+        Printf.printf "wrote GeneratedModel.java to %s\n" dir
+    | `Systemc ->
+        Codegen.Gen_systemc.save ~rounds output.Core.Flow.caam ~dir;
+        Printf.printf "wrote model_sc.cpp to %s\n" dir
+    | `Kpn ->
+        Codegen.Gen_kpn.save ~rounds output.Core.Flow.caam ~dir;
+        Printf.printf "wrote model_kpn.ml to %s\n" dir)
+  in
+  let lang_arg =
+    Arg.(
+      value
+      & opt (enum [ ("c", `C); ("java", `Java); ("systemc", `Systemc); ("kpn", `Kpn) ]) `C
+      & info [ "l"; "language" ] ~docv:"LANG"
+          ~doc:"Target language: c, java, systemc or kpn.")
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Generate multithreaded code from the CAAM")
+    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ dir_arg $ lang_arg)
+
+let fsm_cmd =
+  let action path dir =
+    let uml = load path in
+    let generated = Core.Uml2fsm.run uml in
+    if generated = [] then print_endline "model has no statecharts"
+    else
+      List.iter
+        (fun (name, (g : Core.Uml2fsm.generated)) ->
+          let write ext content =
+            let file = Filename.concat dir (name ^ ext) in
+            let oc = open_out file in
+            output_string oc content;
+            close_out oc;
+            Printf.printf "wrote %s\n" file
+          in
+          write ".h" g.Core.Uml2fsm.c_header;
+          write ".c" g.Core.Uml2fsm.c_source;
+          write ".dot" g.Core.Uml2fsm.dot)
+        generated
+  in
+  Cmd.v
+    (Cmd.info "fsm" ~doc:"Generate C FSMs from the model's statecharts")
+    Term.(const action $ uml_arg $ dir_arg)
+
+let audit_cmd =
+  let action path strategy cpus =
+    let uml = load path in
+    let output = Core.Flow.run ~strategy:(effective_strategy strategy cpus) uml in
+    print_string (Core.Consistency.audit_report uml output)
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Cross-check UML source, trace links and generated CAAM")
+    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg)
+
+let cosim_cmd =
+  let action path script_path rounds strategy cpus =
+    let uml = load path in
+    let output = Core.Flow.run ~strategy:(effective_strategy strategy cpus) uml in
+    let script = Umlfront_cosim.Script.load script_path in
+    let charts = Core.Uml2fsm.run uml in
+    let controller =
+      match script.Umlfront_cosim.Script.chart with
+      | Some name -> (
+          match List.assoc_opt name charts with
+          | Some g -> g.Core.Uml2fsm.fsm
+          | None -> failwith (Printf.sprintf "no statechart %S in the model" name))
+      | None -> (
+          match charts with
+          | [] -> failwith "model has no statecharts"
+          | [ (_, g) ] -> g.Core.Uml2fsm.fsm
+          | many ->
+              Umlfront_fsm.Compose.product_list ~name:"composed"
+                (List.map (fun (_, g) -> g.Core.Uml2fsm.fsm) many))
+    in
+    let rounds =
+      match script.Umlfront_cosim.Script.rounds with Some n -> n | None -> rounds
+    in
+    let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
+    let outcome =
+      Umlfront_cosim.Cosim.run ~rounds sdf
+        (Umlfront_cosim.Script.configure controller script)
+    in
+    List.iter
+      (fun (s : Umlfront_cosim.Cosim.step) ->
+        if s.Umlfront_cosim.Cosim.events <> [] then
+          Format.printf "%a@." Umlfront_cosim.Cosim.pp_step s)
+      outcome.Umlfront_cosim.Cosim.steps;
+    Printf.printf "final state: %s\n" outcome.Umlfront_cosim.Cosim.final_state
+  in
+  let script_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "g"; "glue" ] ~docv:"SCRIPT" ~doc:"Co-simulation glue script.")
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Co-simulate the model's statechart(s) against its generated dataflow")
+    Term.(const action $ uml_arg $ script_arg $ rounds_arg $ strategy_arg $ cpus_arg)
+
+let plantuml_cmd =
+  let action path dir =
+    let uml = load path in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    U.Plantuml.save uml ~dir;
+    List.iter
+      (fun (base, _) -> Printf.printf "wrote %s.puml\n" (Filename.concat dir base))
+      (U.Plantuml.model uml)
+  in
+  Cmd.v
+    (Cmd.info "plantuml" ~doc:"Export the UML diagrams as PlantUML")
+    Term.(const action $ uml_arg $ dir_arg)
+
+let report_cmd =
+  let action path strategy cpus =
+    let uml = load path in
+    let output = Core.Flow.run ~strategy:(effective_strategy strategy cpus) uml in
+    print_string (U.Metrics.report uml);
+    print_string (Core.Report.flow_summary output);
+    print_string (Core.Report.caam_tree output.Core.Flow.caam)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the whole flow and print a summary")
+    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg)
+
+let () =
+  (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)
+  let verbosity =
+    Array.fold_left
+      (fun acc arg ->
+        match arg with "-v" | "--verbose" -> acc + 1 | _ -> acc)
+      0 Sys.argv
+  in
+  if verbosity > 0 then (
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbosity > 1 then Logs.Debug else Logs.Info)));
+  let argv = Array.of_list (List.filter (fun a -> a <> "-v" && a <> "--verbose") (Array.to_list Sys.argv)) in
+  let info =
+    Cmd.info "umlfront" ~version:"1.0.0"
+      ~doc:"UML front-end for heterogeneous software code generation"
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [
+            map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
+            partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
+            plantuml_cmd; report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/autopartition.ml: Array Format List Printf String Umlfront_core Umlfront_dataflow Umlfront_taskgraph Umlfront_uml

@@ -1,0 +1,1 @@
+examples/crane.ml: Array Format List Printf String Umlfront_casestudies Umlfront_codegen Umlfront_core Umlfront_dataflow Umlfront_uml

@@ -1,0 +1,1 @@
+examples/mjpeg.ml: Array Filename Format Printf Sys Umlfront_casestudies Umlfront_codegen Umlfront_core Umlfront_dataflow Umlfront_uml

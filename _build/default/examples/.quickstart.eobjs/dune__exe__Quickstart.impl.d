@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf String Umlfront_casestudies Umlfront_core Umlfront_dataflow Umlfront_uml

@@ -1,0 +1,1 @@
+lib/casestudies/crane_system.ml: Umlfront_uml

@@ -1,0 +1,1 @@
+lib/casestudies/didactic.ml: Umlfront_uml

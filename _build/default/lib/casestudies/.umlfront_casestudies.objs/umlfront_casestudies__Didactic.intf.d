@@ -1,0 +1,1 @@
+lib/casestudies/didactic.mli: Umlfront_uml

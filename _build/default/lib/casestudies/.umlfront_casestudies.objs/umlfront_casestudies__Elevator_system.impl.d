@@ -1,0 +1,1 @@
+lib/casestudies/elevator_system.ml: Umlfront_uml

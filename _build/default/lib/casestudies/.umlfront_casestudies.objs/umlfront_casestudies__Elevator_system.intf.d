@@ -1,0 +1,1 @@
+lib/casestudies/elevator_system.mli: Umlfront_uml

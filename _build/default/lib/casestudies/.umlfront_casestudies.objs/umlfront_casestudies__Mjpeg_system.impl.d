@@ -1,0 +1,1 @@
+lib/casestudies/mjpeg_system.ml: List Umlfront_uml

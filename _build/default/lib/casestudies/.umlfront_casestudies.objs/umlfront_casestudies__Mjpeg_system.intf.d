@@ -1,0 +1,1 @@
+lib/casestudies/mjpeg_system.mli: Umlfront_uml

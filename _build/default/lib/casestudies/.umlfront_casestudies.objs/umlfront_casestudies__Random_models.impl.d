@@ -1,0 +1,1 @@
+lib/casestudies/random_models.ml: Char List Printf Random Umlfront_uml

@@ -1,0 +1,1 @@
+lib/casestudies/random_models.mli: Umlfront_uml

@@ -1,0 +1,1 @@
+lib/casestudies/synthetic_system.ml: List Printf String Umlfront_uml

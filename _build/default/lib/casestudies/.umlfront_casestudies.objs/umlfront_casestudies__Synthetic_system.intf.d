@@ -1,0 +1,1 @@
+lib/casestudies/synthetic_system.mli: Umlfront_uml

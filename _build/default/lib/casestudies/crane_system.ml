@@ -1,0 +1,36 @@
+module U = Umlfront_uml
+
+let model () =
+  let b = U.Builder.create "crane" in
+  U.Builder.thread b "Tsensor";
+  U.Builder.thread b "Tcontrol";
+  U.Builder.thread b "Tactuator";
+  U.Builder.platform b "Platform";
+  U.Builder.io_device b "IODevice";
+  U.Builder.passive_object b ~cls:"SensorProc" "sensorProc";
+  U.Builder.passive_object b ~cls:"Controller" "controller";
+  U.Builder.passive_object b ~cls:"Motor" "motor";
+  U.Builder.cpu b "CPU1";
+  U.Builder.allocate b ~thread:"Tsensor" ~cpu:"CPU1";
+  U.Builder.allocate b ~thread:"Tcontrol" ~cpu:"CPU1";
+  U.Builder.allocate b ~thread:"Tactuator" ~cpu:"CPU1";
+  let arg = U.Sequence.arg in
+  let f = U.Datatype.D_float in
+  U.Builder.call b ~from:"Tsensor" ~target:"IODevice" "getPosition" ~result:(arg "s" f);
+  U.Builder.call b ~from:"Tsensor" ~target:"sensorProc" "sense" ~args:[ arg "s" f ]
+    ~result:(arg "m" f);
+  U.Builder.call b ~from:"Tcontrol" ~target:"Tsensor" "GetPos" ~result:(arg "m" f);
+  (* The error uses the previous command u: a cyclic data dependency
+     that the §4.2.2 optimization must break with a UnitDelay. *)
+  U.Builder.call b ~from:"Tcontrol" ~target:"Platform" "sub"
+    ~args:[ arg "m" f; arg "u" f ]
+    ~result:(arg "e" f);
+  U.Builder.call b ~from:"Tcontrol" ~target:"controller" "control" ~args:[ arg "e" f ]
+    ~result:(arg "c" f);
+  U.Builder.call b ~from:"Tcontrol" ~target:"Platform" "sat" ~args:[ arg "c" f ]
+    ~result:(arg "u" f);
+  U.Builder.call b ~from:"Tcontrol" ~target:"Tactuator" "SetCmd" ~args:[ arg "u" f ];
+  U.Builder.call b ~from:"Tactuator" ~target:"motor" "drive" ~args:[ arg "u" f ]
+    ~result:(arg "d" f);
+  U.Builder.call b ~from:"Tactuator" ~target:"IODevice" "setVoltage" ~args:[ arg "d" f ];
+  U.Builder.finish b

@@ -1,0 +1,6 @@
+(** The crane control system case study (paper §5.1, after Moser &
+    Nebel DATE'99): three threads on one CPU, a feedback loop in
+    Tcontrol whose mapping requires an automatically-inserted temporal
+    barrier (paper Fig. 5). *)
+
+val model : unit -> Umlfront_uml.Model.t

@@ -1,0 +1,35 @@
+module U = Umlfront_uml
+
+let model () =
+  let b = U.Builder.create "didactic" in
+  U.Builder.thread b "T1";
+  U.Builder.thread b "T2";
+  U.Builder.thread b "T3";
+  U.Builder.platform b "Platform";
+  U.Builder.io_device b "IODevice";
+  U.Builder.passive_object b ~cls:"Calc" "calcObj";
+  U.Builder.passive_object b ~cls:"Dec" "decObj";
+  U.Builder.passive_object b ~cls:"Filter" "filterObj";
+  U.Builder.cpu b "CPU1";
+  U.Builder.cpu b "CPU2";
+  U.Builder.bus b "bus";
+  U.Builder.allocate b ~thread:"T1" ~cpu:"CPU1";
+  U.Builder.allocate b ~thread:"T2" ~cpu:"CPU1";
+  U.Builder.allocate b ~thread:"T3" ~cpu:"CPU2";
+  let arg = U.Sequence.arg in
+  let f = U.Datatype.D_float in
+  U.Builder.call b ~from:"T3" ~target:"IODevice" "getSensor" ~result:(arg "v" f);
+  U.Builder.call b ~from:"T3" ~target:"Platform" "gain" ~args:[ arg "v" f ]
+    ~result:(arg "a" f);
+  U.Builder.call b ~from:"T1" ~target:"T3" "GetValue" ~result:(arg "a" f);
+  U.Builder.call b ~from:"T1" ~target:"calcObj" "calc" ~args:[ arg "a" f ]
+    ~result:(arg "r1" f);
+  U.Builder.call b ~from:"T1" ~target:"decObj" "dec" ~args:[ arg "r1" f ]
+    ~result:(arg "r2" f);
+  U.Builder.call b ~from:"T1" ~target:"Platform" "mult" ~args:[ arg "r1" f; arg "r2" f ]
+    ~result:(arg "r3" f);
+  U.Builder.call b ~from:"T1" ~target:"T2" "SetValue" ~args:[ arg "r3" f ];
+  U.Builder.call b ~from:"T2" ~target:"filterObj" "filter" ~args:[ arg "r3" f ]
+    ~result:(arg "y" f);
+  U.Builder.call b ~from:"T2" ~target:"IODevice" "setActuator" ~args:[ arg "y" f ];
+  U.Builder.finish b

@@ -1,0 +1,5 @@
+(** The didactic mapping example of paper Fig. 3: three threads on two
+    CPUs, an S-function chain plus a Platform [mult] in T1, a GetValue
+    over the bus, a SetValue within CPU1, and [<<IO>>] traffic. *)
+
+val model : unit -> Umlfront_uml.Model.t

@@ -1,0 +1,99 @@
+module U = Umlfront_uml
+
+let f = U.Datatype.D_float
+let arg = U.Sequence.arg
+
+let mode_chart =
+  U.Statechart.make "elevator_mode"
+    [
+      U.Statechart.state ~kind:U.Statechart.Initial "init";
+      U.Statechart.state ~entry:"doors_close" "idle";
+      U.Statechart.state ~entry:"motor_on" ~exit:"motor_off" "moving"
+        ~children:
+          [
+            U.Statechart.state ~kind:U.Statechart.Initial "m_init";
+            U.Statechart.state ~entry:"dir_up" "up";
+            U.Statechart.state ~entry:"dir_down" "down";
+          ];
+      U.Statechart.state ~entry:"doors_open" "boarding";
+    ]
+    [
+      U.Statechart.transition ~source:"init" ~target:"idle" ();
+      U.Statechart.transition ~source:"m_init" ~target:"up" ();
+      U.Statechart.transition ~trigger:"call_above" ~source:"idle" ~target:"up" ();
+      U.Statechart.transition ~trigger:"call_below" ~source:"idle" ~target:"down" ();
+      U.Statechart.transition ~trigger:"reverse" ~source:"up" ~target:"down" ();
+      U.Statechart.transition ~trigger:"reverse" ~source:"down" ~target:"up" ();
+      U.Statechart.transition ~trigger:"arrived" ~source:"moving" ~target:"boarding" ();
+      U.Statechart.transition ~trigger:"timeout" ~source:"boarding" ~target:"idle" ();
+    ]
+
+(* The cabin position loop, drawn as one activity diagram per thread. *)
+let model () =
+  let b = U.Builder.create "elevator" in
+  U.Builder.thread b "Tpos";
+  U.Builder.thread b "Tctl";
+  U.Builder.thread b "Tdrv";
+  U.Builder.platform b "Platform";
+  U.Builder.io_device b "Shaft";
+  U.Builder.passive_object b ~cls:"PosFilter" "posFilter";
+  U.Builder.passive_object b ~cls:"PidCtl" "pid";
+  U.Builder.passive_object b ~cls:"MotorDrv" "motorDrv";
+  (* Tpos: sample the shaft encoder and filter. *)
+  U.Builder.activity b
+    (U.Activity.make ~name:"act_pos" ~owner:"Tpos"
+       [
+         U.Activity.Initial "p0";
+         U.Activity.action ~name:"p_read" ~target:"Shaft" ~result:(arg "h" f) "getHeight";
+         U.Activity.action ~name:"p_filter" ~target:"posFilter"
+           ~args:[ arg "h" f ] ~result:(arg "pos" f) "smooth";
+         U.Activity.Final "p_end";
+       ]
+       [
+         U.Activity.edge ~source:"p0" ~target:"p_read" ();
+         U.Activity.edge ~source:"p_read" ~target:"p_filter" ();
+         U.Activity.edge ~source:"p_filter" ~target:"p_end" ();
+       ]);
+  (* Tctl: fetch the position, run the PID with command feedback. *)
+  U.Builder.activity b
+    (U.Activity.make ~name:"act_ctl" ~owner:"Tctl"
+       [
+         U.Activity.Initial "c0";
+         U.Activity.action ~name:"c_get" ~target:"Tpos" ~result:(arg "pos" f) "GetPos";
+         U.Activity.action ~name:"c_err" ~target:"Platform"
+           ~args:[ arg "pos" f; arg "cmd" f ]
+           ~result:(arg "err" f) "sub";
+         U.Activity.action ~name:"c_pid" ~target:"pid" ~args:[ arg "err" f ]
+           ~result:(arg "raw" f) "correct";
+         U.Activity.action ~name:"c_clip" ~target:"Platform" ~args:[ arg "raw" f ]
+           ~result:(arg "cmd" f) "sat";
+         U.Activity.action ~name:"c_send" ~target:"Tdrv" ~args:[ arg "cmd" f ] "SetCmd";
+         U.Activity.Final "c_end";
+       ]
+       [
+         U.Activity.edge ~source:"c0" ~target:"c_get" ();
+         U.Activity.edge ~source:"c_get" ~target:"c_err" ();
+         U.Activity.edge ~source:"c_err" ~target:"c_pid" ();
+         U.Activity.edge ~source:"c_pid" ~target:"c_clip" ();
+         U.Activity.edge ~source:"c_clip" ~target:"c_send" ();
+         U.Activity.edge ~source:"c_send" ~target:"c_end" ();
+       ]);
+  (* Tdrv: convert the command into motor voltage. *)
+  U.Builder.activity b
+    (U.Activity.make ~name:"act_drv" ~owner:"Tdrv"
+       [
+         U.Activity.Initial "d0";
+         U.Activity.action ~name:"d_amp" ~target:"motorDrv" ~args:[ arg "cmd" f ]
+           ~result:(arg "volts" f) "amplify";
+         U.Activity.action ~name:"d_out" ~target:"Shaft" ~args:[ arg "volts" f ]
+           "setMotor";
+         U.Activity.Final "d_end";
+       ]
+       [
+         U.Activity.edge ~source:"d0" ~target:"d_amp" ();
+         U.Activity.edge ~source:"d_amp" ~target:"d_out" ();
+         U.Activity.edge ~source:"d_out" ~target:"d_end" ();
+       ]);
+  (* The mode controller rides along on the control-flow branch. *)
+  U.Builder.statechart b mode_chart;
+  U.Builder.finish b

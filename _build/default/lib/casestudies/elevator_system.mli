@@ -1,0 +1,13 @@
+(** An elevator controller — the heterogeneous system the paper's
+    introduction motivates: an event-based mode controller (state
+    machine, mapped through the FSM branch of Fig. 1) next to a
+    dataflow cabin-position loop (mapped through the Simulink branch).
+
+    The dataflow threads are specified with {e activity diagrams}
+    rather than sequence diagrams, exercising the future-work extension
+    of §6. *)
+
+val model : unit -> Umlfront_uml.Model.t
+
+val mode_chart : Umlfront_uml.Statechart.t
+(** The hierarchical mode controller (idle / moving{up,down} / doors). *)

@@ -1,0 +1,36 @@
+module U = Umlfront_uml
+
+let block8x8 = U.Datatype.D_named ("block8x8", 64)
+let bits = U.Datatype.D_named ("bits", 32)
+
+let model () =
+  let b = U.Builder.create "mjpeg" in
+  List.iter (fun th -> U.Builder.thread b th) [ "Tcap"; "Ty"; "Tc"; "Tvlc" ];
+  U.Builder.io_device b "Camera";
+  U.Builder.passive_object b ~cls:"ColorSplit" "splitter";
+  U.Builder.passive_object b ~cls:"DctQ" "dctY";
+  U.Builder.passive_object b ~cls:"DctQ2" "dctC";
+  U.Builder.passive_object b ~cls:"Vlc" "vlc";
+  let arg = U.Sequence.arg in
+  U.Builder.call b ~from:"Tcap" ~target:"Camera" "getFrame" ~result:(arg "frame" block8x8);
+  U.Builder.call b ~from:"Tcap" ~target:"splitter" "lumaOf" ~args:[ arg "frame" block8x8 ]
+    ~result:(arg "yplane" block8x8);
+  U.Builder.call b ~from:"Tcap" ~target:"splitter" "chromaOf"
+    ~args:[ arg "frame" block8x8 ] ~result:(arg "cplane" block8x8);
+  U.Builder.call b ~from:"Tcap" ~target:"Ty" "SetY" ~args:[ arg "yplane" block8x8 ];
+  U.Builder.call b ~from:"Tcap" ~target:"Tc" "SetC" ~args:[ arg "cplane" block8x8 ];
+  U.Builder.call b ~from:"Ty" ~target:"dctY" "dct" ~args:[ arg "yplane" block8x8 ]
+    ~result:(arg "ydct" block8x8);
+  U.Builder.call b ~from:"Ty" ~target:"dctY" "quant" ~args:[ arg "ydct" block8x8 ]
+    ~result:(arg "yq" block8x8);
+  U.Builder.call b ~from:"Ty" ~target:"Tvlc" "SetYq" ~args:[ arg "yq" block8x8 ];
+  U.Builder.call b ~from:"Tc" ~target:"dctC" "dct" ~args:[ arg "cplane" block8x8 ]
+    ~result:(arg "cdct" block8x8);
+  U.Builder.call b ~from:"Tc" ~target:"dctC" "quant" ~args:[ arg "cdct" block8x8 ]
+    ~result:(arg "cq" block8x8);
+  U.Builder.call b ~from:"Tc" ~target:"Tvlc" "SetCq" ~args:[ arg "cq" block8x8 ];
+  U.Builder.call b ~from:"Tvlc" ~target:"vlc" "encode"
+    ~args:[ arg "yq" block8x8; arg "cq" block8x8 ]
+    ~result:(arg "stream" bits);
+  U.Builder.call b ~from:"Tvlc" ~target:"Camera" "setStream" ~args:[ arg "stream" bits ];
+  U.Builder.finish b

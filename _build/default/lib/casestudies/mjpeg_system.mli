@@ -1,0 +1,7 @@
+(** A Motion-JPEG-style encoder pipeline, the application domain of the
+    MPSoC backend the paper targets (Huang et al., DAC'07): capture
+    splits a frame into two plane pipelines (DCT -> quantization) that
+    rejoin in a VLC thread.  No deployment diagram: allocation is
+    inferred. *)
+
+val model : unit -> Umlfront_uml.Model.t

@@ -1,0 +1,83 @@
+module U = Umlfront_uml
+
+let arg = U.Sequence.arg
+let payload n = U.Datatype.D_named ("buf", n)
+
+let pipeline ~seed ~threads ~extra_edges =
+  let state = Random.State.make [| seed |] in
+  let b = U.Builder.create (Printf.sprintf "rand%d" seed) in
+  let name i = Printf.sprintf "T%c" (Char.chr (Char.code 'A' + i)) in
+  for i = 0 to threads - 1 do
+    U.Builder.thread b (name i)
+  done;
+  U.Builder.io_device b "IO";
+  for i = 0 to threads - 1 do
+    U.Builder.passive_object b ~cls:("W" ^ name i) ("w" ^ name i)
+  done;
+  let edges = ref [] in
+  (* Spanning chain keeps everything connected; extra random forward
+     edges add fan-out. *)
+  for i = 0 to threads - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for _ = 1 to extra_edges do
+    let i = Random.State.int state (threads - 1) in
+    let j = i + 1 + Random.State.int state (threads - i - 1) in
+    if not (List.mem (i, j) !edges) then edges := (i, j) :: !edges
+  done;
+  let edges = List.rev !edges in
+  let work_token i = arg ("w" ^ name i) (payload 4) in
+  let edge_token (i, j) bytes = arg (Printf.sprintf "t%d_%d" i j) (payload bytes) in
+  let inputs_of j =
+    List.filter_map
+      (fun (i, j2) -> if j2 = j then Some (edge_token (i, j) 4) else None)
+      edges
+  in
+  U.Builder.call b ~from:(name 0) ~target:"IO" "getIn" ~result:(arg "x0" (payload 4));
+  U.Builder.call b ~from:(name 0) ~target:("w" ^ name 0) "work"
+    ~args:[ arg "x0" (payload 4) ]
+    ~result:(work_token 0);
+  for i = 1 to threads - 1 do
+    U.Builder.call b ~from:(name i) ~target:("w" ^ name i) "work" ~args:(inputs_of i)
+      ~result:(work_token i)
+  done;
+  List.iter
+    (fun (i, j) ->
+      let bytes = 1 + Random.State.int state 16 in
+      U.Builder.call b ~from:(name i) ~target:("w" ^ name i)
+        (Printf.sprintf "pack%d_%d" i j)
+        ~args:[ work_token i ]
+        ~result:(edge_token (i, j) bytes);
+      U.Builder.call b ~from:(name i) ~target:(name j)
+        (Printf.sprintf "Set%d_%d" i j)
+        ~args:[ edge_token (i, j) bytes ])
+    edges;
+  U.Builder.call b
+    ~from:(name (threads - 1))
+    ~target:"IO" "setOut"
+    ~args:[ work_token (threads - 1) ];
+  U.Builder.finish b
+
+let monolithic ~seed ~calls =
+  let state = Random.State.make [| seed |] in
+  let b = U.Builder.create (Printf.sprintf "mono%d" seed) in
+  U.Builder.thread b "T";
+  U.Builder.io_device b "IO";
+  U.Builder.passive_object b ~cls:"Work" "w";
+  let f32 = U.Datatype.D_float in
+  U.Builder.call b ~from:"T" ~target:"IO" "getIn" ~result:(arg "t0" f32);
+  let tokens = ref [ "t0" ] in
+  for i = 1 to calls do
+    let n_args = 1 + Random.State.int state (min 3 (List.length !tokens)) in
+    let args =
+      List.init n_args (fun _ ->
+          arg (List.nth !tokens (Random.State.int state (List.length !tokens))) f32)
+      |> List.sort_uniq compare
+    in
+    let result = Printf.sprintf "t%d" i in
+    U.Builder.call b ~from:"T" ~target:"w" (Printf.sprintf "f%d" i) ~args
+      ~result:(arg result f32);
+    tokens := result :: !tokens
+  done;
+  U.Builder.call b ~from:"T" ~target:"IO" "setOut" ~args:[ arg (List.hd !tokens) f32 ];
+  U.Builder.finish b

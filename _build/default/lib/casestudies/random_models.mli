@@ -1,0 +1,15 @@
+(** Random UML workloads, deterministic in their seed — used by the
+    property tests and the benchmark sweeps, and available to users for
+    fuzzing their own passes. *)
+
+val pipeline : seed:int -> threads:int -> extra_edges:int -> Umlfront_uml.Model.t
+(** A multi-threaded dataflow application in the synthetic-example
+    style: a spanning chain of threads plus random forward edges, each
+    thread doing local work, packing and [Set]-ting its products; one
+    IO read at the source, one IO write at the sink.  Always
+    well-formed ({!Umlfront_uml.Validate}). *)
+
+val monolithic : seed:int -> calls:int -> Umlfront_uml.Model.t
+(** A single-threaded model (one thread, a chain of functional calls
+    with random fan-in over earlier tokens) — the input shape of the
+    automatic partitioner. *)

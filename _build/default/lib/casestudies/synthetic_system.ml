@@ -1,0 +1,85 @@
+module U = Umlfront_uml
+
+let thread_names = [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I"; "J"; "L"; "M" ]
+
+let communications =
+  [
+    ("A", "B", 10); ("B", "C", 10); ("C", "D", 10); ("D", "F", 10); ("F", "J", 10);
+    ("A", "E", 2); ("E", "I", 8); ("I", "J", 2);
+    ("B", "H", 2); ("H", "L", 8); ("L", "J", 2);
+    ("C", "G", 2); ("G", "M", 8); ("M", "J", 2);
+  ]
+
+let payload bytes = U.Datatype.D_named ("buf", bytes)
+
+(* Each thread performs local work, packs one token per outgoing edge
+   and Sets it to the receiver; the first thread reads the environment
+   and the last writes it.  [sink] is the thread receiving the final
+   result. *)
+let build ~name ~threads ~comms ~source ~sink =
+  let b = U.Builder.create name in
+  List.iter (fun th -> U.Builder.thread b th) threads;
+  U.Builder.io_device b "IODevice";
+  List.iter (fun th -> U.Builder.passive_object b ~cls:("Work" ^ th) ("work" ^ th)) threads;
+  let arg = U.Sequence.arg in
+  let work_result th = arg ("w" ^ th) (payload 4) in
+  let inputs_of th =
+    List.filter_map
+      (fun (src, dst, bytes) ->
+        if String.equal dst th then Some (arg ("t" ^ src ^ "_" ^ dst) (payload bytes))
+        else None)
+      comms
+  in
+  U.Builder.call b ~from:source ~target:"IODevice" "getInput"
+    ~result:(arg "seed" (payload 4));
+  U.Builder.call b ~from:source ~target:("work" ^ source) "work"
+    ~args:[ arg "seed" (payload 4) ]
+    ~result:(work_result source);
+  List.iter
+    (fun th ->
+      if not (String.equal th source) then
+        U.Builder.call b ~from:th ~target:("work" ^ th) "work" ~args:(inputs_of th)
+          ~result:(work_result th))
+    threads;
+  List.iter
+    (fun (src, dst, bytes) ->
+      U.Builder.call b ~from:src ~target:("work" ^ src)
+        (Printf.sprintf "pack%s_%s" src dst)
+        ~args:[ work_result src ]
+        ~result:(arg ("t" ^ src ^ "_" ^ dst) (payload bytes));
+      U.Builder.call b ~from:src ~target:dst
+        (Printf.sprintf "Set%s_%s" src dst)
+        ~args:[ arg ("t" ^ src ^ "_" ^ dst) (payload bytes) ])
+    comms;
+  U.Builder.call b ~from:sink ~target:"IODevice" "setResult" ~args:[ work_result sink ];
+  U.Builder.finish b
+
+let model () =
+  build ~name:"synthetic" ~threads:thread_names ~comms:communications ~source:"A"
+    ~sink:"J"
+
+let scaled ~threads =
+  if threads < 2 then invalid_arg "synthetic: threads < 2";
+  let name i = Printf.sprintf "N%d" i in
+  let all = List.init threads name in
+  (* Heavy chain over the even-indexed threads, light feeders from the
+     odd ones, mirroring the paper's shape at any size. *)
+  let comms = ref [] in
+  let chain = List.init ((threads + 1) / 2) (fun i -> name (2 * i)) in
+  let rec chain_edges = function
+    | a :: (b :: _ as rest) ->
+        comms := (a, b, 10) :: !comms;
+        chain_edges rest
+    | [ _ ] | [] -> ()
+  in
+  chain_edges chain;
+  List.iteri
+    (fun i th ->
+      if i mod 2 = 1 then
+        let target = name (2 * (i / 2)) in
+        comms := (target, th, 2) :: !comms)
+    all;
+  let last_chain = List.nth chain (List.length chain - 1) in
+  build
+    ~name:(Printf.sprintf "synthetic%d" threads)
+    ~threads:all ~comms:(List.rev !comms) ~source:(name 0) ~sink:last_chain

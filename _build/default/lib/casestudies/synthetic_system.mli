@@ -1,0 +1,20 @@
+(** The synthetic 12-thread example (paper §5.2, Figs. 6-8): threads
+    A..M (no K, as in the paper) specified by sequence diagrams alone,
+    exercising the automatic thread allocation.
+
+    The paper's task-graph figure is partially garbled in the available
+    text; this is a documented reconstruction: a heavy main chain
+    A-B-C-D-F-J (the critical path) plus three lighter side chains
+    E-I, G-M and H-L, which linear clustering maps to four CPUs — the
+    four CPU-SS of paper Fig. 8. *)
+
+val thread_names : string list
+
+val communications : (string * string * int) list
+(** (sender, receiver, bytes) — the reconstructed Fig. 7(a) edges. *)
+
+val model : unit -> Umlfront_uml.Model.t
+
+val scaled : threads:int -> Umlfront_uml.Model.t
+(** A larger synthetic model of the same shape (one heavy chain plus
+    side chains), for scalability benches.  [threads] >= 2. *)

@@ -1,0 +1,1 @@
+lib/codegen/fifo_runtime.ml: Filename

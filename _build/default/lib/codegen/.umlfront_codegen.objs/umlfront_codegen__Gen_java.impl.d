@@ -1,0 +1,1 @@
+lib/codegen/gen_java.ml: Filename Gen_threads Hashtbl List Option Printf String Umlfront_dataflow Umlfront_simulink Umlfront_transform

@@ -1,0 +1,1 @@
+lib/codegen/gen_java.mli: Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/codegen/gen_kpn.ml: Filename Gen_threads List Printf String Umlfront_dataflow Umlfront_simulink Umlfront_transform

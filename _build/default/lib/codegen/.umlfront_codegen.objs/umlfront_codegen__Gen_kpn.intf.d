@@ -1,0 +1,1 @@
+lib/codegen/gen_kpn.mli: Umlfront_simulink

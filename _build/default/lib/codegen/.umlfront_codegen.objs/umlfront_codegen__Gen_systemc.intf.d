@@ -1,0 +1,1 @@
+lib/codegen/gen_systemc.mli: Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/codegen/gen_threads.ml: Fifo_runtime Filename Hashtbl List Option Printf String Umlfront_dataflow Umlfront_simulink Umlfront_transform

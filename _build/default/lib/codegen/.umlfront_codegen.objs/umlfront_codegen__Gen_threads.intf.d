@@ -1,0 +1,1 @@
+lib/codegen/gen_threads.mli: Umlfront_simulink

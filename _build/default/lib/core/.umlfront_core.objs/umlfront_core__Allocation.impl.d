@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Hashtbl List Option Printf Umlfront_taskgraph Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/allocation.mli: Umlfront_taskgraph Umlfront_uml

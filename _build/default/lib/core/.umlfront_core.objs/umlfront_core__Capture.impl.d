@@ -1,0 +1,1 @@
+lib/core/capture.ml: Hashtbl List Option Printf String Umlfront_dataflow Umlfront_simulink Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/capture.mli: Umlfront_simulink Umlfront_uml

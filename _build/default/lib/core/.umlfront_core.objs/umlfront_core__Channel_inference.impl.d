@@ -1,0 +1,1 @@
+lib/core/channel_inference.ml: List Printf Umlfront_simulink

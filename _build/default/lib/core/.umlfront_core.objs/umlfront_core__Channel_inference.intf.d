@@ -1,0 +1,1 @@
+lib/core/channel_inference.mli: Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Buffer Flow Format List Printf String Umlfront_dataflow Umlfront_metamodel Umlfront_simulink Umlfront_uml

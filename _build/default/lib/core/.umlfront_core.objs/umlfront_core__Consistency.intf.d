@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Flow Format Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Buffer Float Flow List Option Printf Umlfront_dataflow Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Allocation Channel_inference List Logs Loop_breaker Mapping Metamodels String Uml2fsm Umlfront_codegen Umlfront_metamodel Umlfront_simulink Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Mapping Uml2fsm Umlfront_codegen Umlfront_metamodel Umlfront_simulink Umlfront_uml

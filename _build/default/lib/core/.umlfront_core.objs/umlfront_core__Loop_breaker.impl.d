@@ -1,0 +1,1 @@
+lib/core/loop_breaker.ml: List Option Printf String Umlfront_dataflow Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/core/loop_breaker.mli: Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/core/m2m.ml: List Metamodels Option String Umlfront_fsm Umlfront_metamodel Umlfront_transform Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/m2m.mli: Umlfront_fsm Umlfront_metamodel Umlfront_transform Umlfront_uml

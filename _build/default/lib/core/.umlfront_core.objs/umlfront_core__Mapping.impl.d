@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Hashtbl List Option Printf String Umlfront_metamodel Umlfront_simulink Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Umlfront_metamodel Umlfront_simulink Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/metamodels.ml: Hashtbl List Option String Umlfront_fsm Umlfront_metamodel Umlfront_simulink Umlfront_uml

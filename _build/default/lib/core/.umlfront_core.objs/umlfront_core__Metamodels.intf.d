@@ -1,0 +1,1 @@
+lib/core/metamodels.mli: Umlfront_fsm Umlfront_metamodel Umlfront_simulink Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/partitioning.ml: Fun Hashtbl List Option Printf String Umlfront_taskgraph Umlfront_uml

@@ -1,0 +1,1 @@
+lib/core/partitioning.mli: Umlfront_taskgraph Umlfront_uml

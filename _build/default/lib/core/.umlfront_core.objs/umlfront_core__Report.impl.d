@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Flow List Option Printf String Umlfront_simulink Umlfront_taskgraph

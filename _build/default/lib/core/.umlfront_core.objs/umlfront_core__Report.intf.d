@@ -1,0 +1,1 @@
+lib/core/report.mli: Flow Umlfront_simulink Umlfront_taskgraph

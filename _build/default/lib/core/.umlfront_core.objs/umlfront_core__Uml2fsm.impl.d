@@ -1,0 +1,1 @@
+lib/core/uml2fsm.ml: List Umlfront_fsm Umlfront_uml

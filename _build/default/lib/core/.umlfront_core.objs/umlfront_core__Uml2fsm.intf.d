@@ -1,0 +1,1 @@
+lib/core/uml2fsm.mli: Umlfront_fsm Umlfront_uml

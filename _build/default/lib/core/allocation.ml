@@ -1,0 +1,70 @@
+module U = Umlfront_uml
+module G = Umlfront_taskgraph.Graph
+module Algo = Umlfront_taskgraph.Algo
+module Clustering = Umlfront_taskgraph.Clustering
+module Lc = Umlfront_taskgraph.Linear_clustering
+
+let task_graph (uml : U.Model.t) =
+  let g = G.create () in
+  let threads = U.Model.threads uml in
+  let work = Hashtbl.create 8 in
+  List.iter (fun th -> Hashtbl.replace work th 0) threads;
+  let comm = Hashtbl.create 16 in
+  let add_comm src dst bytes =
+    let key = (src, dst) in
+    Hashtbl.replace comm key (bytes + Option.value (Hashtbl.find_opt comm key) ~default:0)
+  in
+  List.iter
+    (fun (sd : U.Sequence.t) ->
+      List.iter
+        (fun (m : U.Sequence.message) ->
+          let caller = m.U.Sequence.msg_from and callee = m.U.Sequence.msg_to in
+          match
+            (U.Model.kind_of_instance uml caller, U.Model.kind_of_instance uml callee)
+          with
+          | Some U.Classifier.Thread, Some U.Classifier.Thread ->
+              let bytes = max 1 (U.Sequence.transferred_bytes m) in
+              if U.Sequence.is_send m then add_comm caller callee bytes
+              else if U.Sequence.is_receive m then add_comm callee caller bytes
+          | Some U.Classifier.Thread, Some _ ->
+              Hashtbl.replace work caller (1 + Option.value (Hashtbl.find_opt work caller) ~default:0)
+          | _, _ -> ())
+        sd.U.Sequence.sd_messages)
+    (U.Model.behaviours uml);
+  List.iter
+    (fun th ->
+      G.add_node g
+        ~weight:(float_of_int (max 1 (Option.value (Hashtbl.find_opt work th) ~default:0)))
+        th)
+    threads;
+  Hashtbl.iter (fun (src, dst) bytes -> G.add_edge g ~weight:(float_of_int bytes) src dst) comm;
+  g
+
+let acyclic_view g =
+  if Algo.is_acyclic g then g
+  else
+    let back = Algo.all_back_edges g in
+    G.of_lists
+      ~nodes:(List.map (fun id -> (id, G.node_weight g id)) (G.nodes g))
+      ~edges:
+        (List.filter (fun (s, d, _) -> not (List.mem (s, d) back)) (G.edges g))
+
+type strategy = Linear | Bounded of int
+
+let infer ?(strategy = Linear) ?(cpu_prefix = "CPU") (uml : U.Model.t) =
+  let g = acyclic_view (task_graph uml) in
+  let clustering =
+    match strategy with
+    | Linear -> Lc.run g
+    | Bounded n -> Lc.run_bounded ~max_clusters:n g
+  in
+  Clustering.groups clustering
+  |> List.concat_map (fun group ->
+         let idx = Clustering.cluster_of clustering (List.hd group) in
+         List.map (fun th -> (th, Printf.sprintf "%s%d" cpu_prefix idx)) group)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let from_deployment (uml : U.Model.t) =
+  Option.map
+    (fun (d : U.Deployment.t) -> d.U.Deployment.dep_allocation)
+    (U.Model.deployment uml)

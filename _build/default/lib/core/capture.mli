@@ -1,0 +1,20 @@
+(** Reverse mapping: capturing a Simulink CAAM back into a UML model.
+
+    The paper's §2 notes that the GeneralStore platform only supports
+    {e capturing} a Simulink model in UML, while this tool synthesizes
+    the Simulink side.  Implementing the capture direction as well
+    makes the pair bidirectional: threads are recovered from the
+    Thread-SS hierarchy, the deployment from the CPU-SS layer, and
+    each thread's behaviour from its blocks in dataflow order (library
+    blocks become Platform calls, S-Functions passive-object calls,
+    cross-thread channels Set messages, top-level ports [<<IO>>]
+    traffic).
+
+    Round-trip guarantee (tested): re-running the forward flow on a
+    captured model reproduces a CAAM with the same CPU/thread/channel
+    structure, the same S-Function set, and no additional temporal
+    barriers. *)
+
+val run : Umlfront_simulink.Model.t -> Umlfront_uml.Model.t
+(** @raise Invalid_argument when the model is not a CAAM (no CPU-SS
+    role markings) or contains a zero-delay cycle. *)

@@ -1,0 +1,66 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Model = Umlfront_simulink.Model
+module Caam = Umlfront_simulink.Caam
+
+type outcome = {
+  model : Model.t;
+  intra_channels : int;
+  inter_channels : int;
+}
+
+let fresh_channel_name sys =
+  let rec try_name n =
+    let candidate = Printf.sprintf "ch%d" n in
+    if S.find_block sys candidate = None then candidate else try_name (n + 1)
+  in
+  try_name 1
+
+let splice_channel sys (l : S.line) protocol =
+  let name = fresh_channel_name sys in
+  let sys = S.remove_line sys ~src:l.S.src ~dst:l.S.dst in
+  let sys =
+    S.add_block
+      ~params:
+        [
+          (Caam.protocol_param, B.P_string protocol);
+          (Caam.role_param, B.P_string "comm");
+        ]
+      sys B.Channel name
+  in
+  let sys = S.add_line sys ~src:l.S.src ~dst:{ S.block = name; S.port = 1 } in
+  S.add_line sys ~src:{ S.block = name; S.port = 1 } ~dst:l.S.dst
+
+let run (m : Model.t) =
+  let intra = ref 0 and inter = ref 0 in
+  let channelize sys =
+    let role_of name =
+      match S.find_block sys name with Some b -> Caam.role_of_block b | None -> None
+    in
+    let candidates =
+      List.filter
+        (fun (l : S.line) ->
+          match (role_of l.S.src.S.block, role_of l.S.dst.S.block) with
+          | Some Caam.Cpu, Some Caam.Cpu | Some Caam.Thread, Some Caam.Thread -> true
+          | _, _ -> false)
+        (S.lines sys)
+    in
+    List.fold_left
+      (fun sys (l : S.line) ->
+        match role_of l.S.src.S.block with
+        | Some Caam.Cpu ->
+            incr inter;
+            splice_channel sys l "GFIFO"
+        | Some Caam.Thread ->
+            incr intra;
+            splice_channel sys l "SWFIFO"
+        | Some Caam.Comm | None -> sys)
+      sys candidates
+  in
+  let root = S.map_systems (fun _path sys -> channelize sys) m.Model.root in
+  {
+    model = Model.make ~solver:m.Model.solver ~stop_time:m.Model.stop_time
+        ~name:m.Model.model_name root;
+    intra_channels = !intra;
+    inter_channels = !inter;
+  }

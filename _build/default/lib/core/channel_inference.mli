@@ -1,0 +1,15 @@
+(** Inference of communication channels (paper §4.2.1).
+
+    Every data link between two Thread-SS blocks inside a CPU-SS gets
+    an explicit intra-CPU channel with the [SWFIFO] protocol; every
+    link between two CPU-SS blocks at top level gets an inter-CPU
+    [GFIFO] channel.  Channels are point-to-point Channel blocks
+    spliced into the existing line. *)
+
+type outcome = {
+  model : Umlfront_simulink.Model.t;
+  intra_channels : int;
+  inter_channels : int;
+}
+
+val run : Umlfront_simulink.Model.t -> outcome

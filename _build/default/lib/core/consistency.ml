@@ -1,0 +1,118 @@
+module U = Umlfront_uml
+module S = Umlfront_simulink.System
+module Model = Umlfront_simulink.Model
+module Caam = Umlfront_simulink.Caam
+module Trace = Umlfront_metamodel.Trace
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+
+type finding = { subject : string; problem : string }
+
+let pp_finding ppf f = Format.fprintf ppf "%s: %s" f.subject f.problem
+
+let block_path_exists (m : Model.t) path =
+  let parts = String.split_on_char '/' path in
+  let rec descend sys = function
+    | [] -> true
+    | name :: rest -> (
+        match S.find_block sys name with
+        | Some b -> (
+            match (rest, b.S.blk_system) with
+            | [], _ -> true
+            | _, Some inner -> descend inner rest
+            | _, None -> false)
+        | None -> false)
+  in
+  descend m.Model.root parts
+
+let audit uml (o : Flow.output) =
+  let findings = ref [] in
+  let blame subject problem = findings := { subject; problem } :: !findings in
+  let caam = o.Flow.caam in
+  List.iter
+    (fun (c : S.complaint) ->
+      blame ("structure:" ^ c.S.path) c.S.gripe)
+    (Model.validate caam);
+  List.iter (fun gripe -> blame "caam" gripe) (Caam.check caam);
+  (* Trace completeness for threads. *)
+  List.iter
+    (fun thread ->
+      match Trace.targets_of ~rule:"thread_to_thread_ss" o.Flow.trace thread with
+      | [] -> blame thread "no thread_to_thread_ss trace link"
+      | targets ->
+          List.iter
+            (fun t ->
+              if not (block_path_exists caam t) then
+                blame thread (Printf.sprintf "trace target %s does not exist" t))
+            targets)
+    (U.Model.threads uml);
+  (* Trace completeness for messages. *)
+  List.iter
+    (fun (sd : U.Sequence.t) ->
+      List.iteri
+        (fun i (m : U.Sequence.message) ->
+          let id = Printf.sprintf "%s:%d:%s" sd.U.Sequence.sd_name i m.U.Sequence.msg_operation in
+          let caller_is_thread =
+            U.Model.kind_of_instance uml m.U.Sequence.msg_from = Some U.Classifier.Thread
+          in
+          match (caller_is_thread, U.Model.kind_of_instance uml m.U.Sequence.msg_to) with
+          | true, (Some U.Classifier.Passive | Some U.Classifier.Platform) -> (
+              match Trace.targets_of ~rule:"message_to_block" o.Flow.trace id with
+              | [] -> blame id "no message_to_block trace link"
+              | targets ->
+                  List.iter
+                    (fun t ->
+                      (* The link stores thread/block; resolve through
+                         the allocation to the full path. *)
+                      let full =
+                        match String.split_on_char '/' t with
+                        | thread :: rest ->
+                            (match List.assoc_opt thread o.Flow.allocation with
+                            | Some cpu -> String.concat "/" (cpu :: thread :: rest)
+                            | None -> t)
+                        | [] -> t
+                      in
+                      if not (block_path_exists caam full) then
+                        blame id (Printf.sprintf "generated block %s missing" full))
+                    targets)
+          | true, Some U.Classifier.Io_device -> (
+              match Trace.targets_of ~rule:"io_to_system_port" o.Flow.trace id with
+              | [] -> blame id "no io_to_system_port trace link"
+              | ports ->
+                  List.iter
+                    (fun p ->
+                      if S.find_block caam.Model.root p = None then
+                        blame id (Printf.sprintf "system port %s missing" p))
+                    ports)
+          | _, _ -> ())
+        sd.U.Sequence.sd_messages)
+    (U.Model.behaviours uml);
+  (* Executability. *)
+  (match Exec.firing_order (Sdf.of_model caam) with
+  | _ -> ()
+  | exception Exec.Deadlock cycle ->
+      blame "executability" ("zero-delay cycle: " ^ String.concat " -> " cycle));
+  (* Allocation agreement. *)
+  let placed = Caam.thread_names caam in
+  List.iter
+    (fun (thread, cpu) ->
+      match List.assoc_opt thread placed with
+      | Some actual when String.equal actual cpu -> ()
+      | Some actual ->
+          blame thread (Printf.sprintf "allocated to %s but placed in %s" cpu actual)
+      | None ->
+          if U.Model.kind_of_instance uml thread = Some U.Classifier.Thread then
+            blame thread "allocated but absent from the CAAM")
+    o.Flow.allocation;
+  List.rev !findings
+
+let audit_report uml o =
+  match audit uml o with
+  | [] -> "consistency audit: clean\n"
+  | findings ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun f -> Buffer.add_string buf (Format.asprintf "  %a\n" pp_finding f))
+        findings;
+      Printf.sprintf "consistency audit: %d finding(s)\n%s" (List.length findings)
+        (Buffer.contents buf)

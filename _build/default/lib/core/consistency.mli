@@ -1,0 +1,21 @@
+(** End-to-end consistency audit of a flow run: cross-checks the UML
+    source, the trace links and the generated CAAM against each other
+    (the model-driven engineering discipline of Fig. 2 — every source
+    element accounted for, every trace target real). *)
+
+type finding = { subject : string; problem : string }
+
+val audit : Umlfront_uml.Model.t -> Flow.output -> finding list
+(** Empty means consistent.  Checked:
+    - structural validation of the CAAM and the CAAM-role checker;
+    - every thread has a [thread_to_thread_ss] trace link whose target
+      block path exists;
+    - every functional message (thread → passive/Platform) has a
+      [message_to_block] link to an existing block;
+    - every [<<IO>>] message's port link names an existing top-level
+      port block;
+    - the generated model admits a firing order (deadlock-free);
+    - allocation and CAAM agree on the thread-to-CPU placement. *)
+
+val audit_report : Umlfront_uml.Model.t -> Flow.output -> string
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,85 @@
+let log = Logs.Src.create "umlfront.flow" ~doc:"UML front-end design flow"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type allocation_strategy =
+  | Use_deployment
+  | Prefer_deployment
+  | Infer_linear
+  | Infer_bounded of int
+
+type output = {
+  caam : Umlfront_simulink.Model.t;
+  mdl : string;
+  allocation : (string * string) list;
+  trace : Umlfront_metamodel.Trace.t;
+  intra_channels : int;
+  inter_channels : int;
+  delays_inserted : int;
+  broken_cycles : string list list;
+  fsms : (string * Uml2fsm.generated) list;
+}
+
+let choose_allocation strategy uml =
+  match strategy with
+  | Use_deployment -> (
+      match Allocation.from_deployment uml with
+      | Some a -> a
+      | None -> invalid_arg "flow: no deployment diagram in the model")
+  | Prefer_deployment -> (
+      match Allocation.from_deployment uml with
+      | Some a -> a
+      | None -> Allocation.infer uml)
+  | Infer_linear -> Allocation.infer uml
+  | Infer_bounded n -> Allocation.infer ~strategy:(Allocation.Bounded n) uml
+
+let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
+  Log.info (fun m ->
+      m "flow start: model %s, %d threads" uml.Umlfront_uml.Model.model_name
+        (List.length (Umlfront_uml.Model.threads uml)));
+  let allocation = choose_allocation strategy uml in
+  Log.debug (fun m ->
+      m "allocation: %s"
+        (String.concat ", " (List.map (fun (t, c) -> t ^ "->" ^ c) allocation)));
+  let mapped = Mapping.run ~style ~allocation uml in
+  let channelized =
+    match style with
+    | Mapping.Caam -> Channel_inference.run mapped.Mapping.model
+    | Mapping.Flat ->
+        {
+          Channel_inference.model = mapped.Mapping.model;
+          intra_channels = 0;
+          inter_channels = 0;
+        }
+  in
+  Log.debug (fun m ->
+      m "channels: %d intra, %d inter" channelized.Channel_inference.intra_channels
+        channelized.Channel_inference.inter_channels);
+  let barriered = Loop_breaker.run channelized.Channel_inference.model in
+  if barriered.Loop_breaker.delays_inserted > 0 then
+    Log.info (fun m ->
+        m "inserted %d temporal barrier(s)" barriered.Loop_breaker.delays_inserted);
+  let caam = Umlfront_simulink.Layout.run barriered.Loop_breaker.model in
+  Log.info (fun m ->
+      m "flow done: %d blocks, %d lines"
+        (Umlfront_simulink.System.total_blocks caam.Umlfront_simulink.Model.root)
+        (Umlfront_simulink.System.total_lines caam.Umlfront_simulink.Model.root));
+  {
+    caam;
+    mdl = Umlfront_simulink.Mdl_writer.to_string caam;
+    allocation;
+    trace = mapped.Mapping.trace;
+    intra_channels = channelized.Channel_inference.intra_channels;
+    inter_channels = channelized.Channel_inference.inter_channels;
+    delays_inserted = barriered.Loop_breaker.delays_inserted;
+    broken_cycles = barriered.Loop_breaker.broken_cycles;
+    fsms = Uml2fsm.run uml;
+  }
+
+let ecore_xml output =
+  Umlfront_metamodel.Ecore_io.to_string (Metamodels.simulink_to_mmodel output.caam)
+
+let c_code ?rounds output = Umlfront_codegen.Gen_threads.generate ?rounds output.caam
+
+let java_code ?rounds ?class_name output =
+  Umlfront_codegen.Gen_java.generate ?rounds ?class_name output.caam

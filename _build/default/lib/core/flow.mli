@@ -1,0 +1,41 @@
+(** The end-to-end design flow of Fig. 1/Fig. 2: UML model in,
+    synthesizable Simulink CAAM (plus [.mdl] text, FSMs for the
+    control-flow subsystems, and multithreaded code) out.
+
+    Pipeline: validate → allocate threads (deployment diagram or the
+    §4.2.3 optimization) → map (§4.1) → infer channels (§4.2.1) →
+    insert temporal barriers (§4.2.2) → emit. *)
+
+type allocation_strategy =
+  | Use_deployment  (** require the deployment diagram *)
+  | Prefer_deployment  (** use it when present, else infer *)
+  | Infer_linear  (** ignore the diagram, one CPU per linear cluster *)
+  | Infer_bounded of int
+
+type output = {
+  caam : Umlfront_simulink.Model.t;  (** after all optimization passes *)
+  mdl : string;  (** the generated .mdl text *)
+  allocation : (string * string) list;
+  trace : Umlfront_metamodel.Trace.t;
+  intra_channels : int;
+  inter_channels : int;
+  delays_inserted : int;
+  broken_cycles : string list list;
+  fsms : (string * Uml2fsm.generated) list;
+}
+
+val run :
+  ?style:Mapping.style ->
+  ?strategy:allocation_strategy ->
+  Umlfront_uml.Model.t ->
+  output
+(** @raise Invalid_argument on a malformed model or
+    [Use_deployment] without a deployment diagram. *)
+
+val ecore_xml : output -> string
+(** The intermediate model-to-model artifact of Fig. 2: the generated
+    CAAM serialized against the Simulink meta-model in E-core style XML
+    (what the paper's step 2 hands to steps 3-4). *)
+
+val c_code : ?rounds:int -> output -> Umlfront_codegen.Gen_threads.generated
+val java_code : ?rounds:int -> ?class_name:string -> output -> string

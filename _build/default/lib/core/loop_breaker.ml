@@ -1,0 +1,96 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Model = Umlfront_simulink.Model
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+
+type outcome = {
+  model : Model.t;
+  delays_inserted : int;
+  broken_cycles : string list list;
+}
+
+let fresh_delay_name sys =
+  let rec try_name n =
+    let candidate = Printf.sprintf "Delay%d" n in
+    if S.find_block sys candidate = None then candidate else try_name (n + 1)
+  in
+  try_name 1
+
+let leaf_name actor_name =
+  match List.rev (String.split_on_char '/' actor_name) with
+  | leaf :: _ -> leaf
+  | [] -> actor_name
+
+(* The line (in the system at [path]) that carries the given flattened
+   edge: it starts at the source leaf block and its traced destinations
+   include the edge's consumer. *)
+let find_origin_line (m : Model.t) ~path (e : Sdf.edge) =
+  let stack_sys =
+    let rec descend sys = function
+      | [] -> sys
+      | name :: rest -> (
+          match (S.find_block_exn sys name).S.blk_system with
+          | Some inner -> descend inner rest
+          | None -> invalid_arg "loop_breaker: path is not a subsystem chain")
+    in
+    descend m.Model.root path
+  in
+  let src_block = leaf_name e.Sdf.edge_src in
+  S.lines stack_sys
+  |> List.find_opt (fun (l : S.line) ->
+         String.equal l.S.src.S.block src_block
+         && l.S.src.S.port = e.Sdf.edge_src_port
+         && List.exists
+              (fun (actor, port) ->
+                String.equal actor e.Sdf.edge_dst && port = e.Sdf.edge_dst_port)
+              (Sdf.destinations_of_line m ~path l))
+
+let splice_delay (m : Model.t) ~path (l : S.line) =
+  let root =
+    S.map_systems
+      (fun p sys ->
+        if p = path then (
+          let name = fresh_delay_name sys in
+          let sys = S.remove_line sys ~src:l.S.src ~dst:l.S.dst in
+          let sys =
+            S.add_block
+              ~params:[ ("InitialCondition", B.P_float 0.0) ]
+              sys B.Unit_delay name
+          in
+          let sys = S.add_line sys ~src:l.S.src ~dst:{ S.block = name; S.port = 1 } in
+          S.add_line sys ~src:{ S.block = name; S.port = 1 } ~dst:l.S.dst)
+        else sys)
+      m.Model.root
+  in
+  Model.make ~solver:m.Model.solver ~stop_time:m.Model.stop_time ~name:m.Model.model_name
+    root
+
+let run ?(max_iterations = 100) (m : Model.t) =
+  let rec loop m inserted cycles iteration =
+    if iteration > max_iterations then
+      failwith "loop_breaker: did not converge (malformed model?)";
+    let sdf = Sdf.of_model m in
+    match Exec.firing_order sdf with
+    | _ -> { model = m; delays_inserted = inserted; broken_cycles = List.rev cycles }
+    | exception Exec.Deadlock cycle -> (
+        (* The cycle comes back as [v; ...; u] with the closing edge
+           u -> v.  Break that edge. *)
+        let v = List.hd cycle in
+        let u = List.nth cycle (List.length cycle - 1) in
+        let edge =
+          sdf.Sdf.edges
+          |> List.find_opt (fun (e : Sdf.edge) ->
+                 String.equal e.Sdf.edge_src u && String.equal e.Sdf.edge_dst v)
+        in
+        match edge with
+        | None -> failwith "loop_breaker: cycle edge not found in SDF"
+        | Some e -> (
+            let path = (Option.get (Sdf.find_actor sdf u)).Sdf.actor_path in
+            match find_origin_line m ~path e with
+            | None -> failwith "loop_breaker: origin line of cycle edge not found"
+            | Some l ->
+                loop (splice_delay m ~path l) (inserted + 1) (cycle :: cycles)
+                  (iteration + 1)))
+  in
+  loop m 0 [] 0

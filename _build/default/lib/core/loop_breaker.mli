@@ -1,0 +1,19 @@
+(** Insertion of temporal barriers (paper §4.2.2).
+
+    The generated model is searched for cyclic dataflow paths (by
+    flattening it to SDF and asking for a firing order); for each cycle
+    found, a Simulink [UnitDelay] block is spliced into the data link
+    that closes the loop, at the hierarchy level where the loop's back
+    edge originates.  Repeats until the model is deadlock-free. *)
+
+type outcome = {
+  model : Umlfront_simulink.Model.t;
+  delays_inserted : int;
+  broken_cycles : string list list;
+      (** the actor cycles that were broken, in insertion order *)
+}
+
+val run : ?max_iterations:int -> Umlfront_simulink.Model.t -> outcome
+(** @raise Failure when [max_iterations] (default 100) passes do not
+    reach a deadlock-free model (should be impossible: every pass
+    removes at least one cycle). *)

@@ -1,0 +1,141 @@
+module Engine = Umlfront_transform.Engine
+module Mm = Umlfront_metamodel.Mmodel
+module Trace = Umlfront_metamodel.Trace
+module U = Umlfront_uml
+module Fsm = Umlfront_fsm.Fsm
+module Flatten = Umlfront_fsm.Flatten
+
+(* Source objects are instances of Metamodels.uml_mm describing a
+   *flat* statechart (every state Simple/Initial/Final, no nesting). *)
+
+let is_pseudo obj = Mm.get_string obj "kind" = Some "initial"
+
+let chart2fsm =
+  Engine.rule ~name:"chart2fsm" ~source:"Statechart"
+    (fun ctx obj ->
+      let fsm = Mm.new_object ctx.Engine.target "Fsm" in
+      Mm.set_string ctx.Engine.target fsm "name"
+        (Option.value (Mm.get_string obj "name") ~default:"fsm");
+      [ fsm ])
+    ~bind:(fun ctx obj targets ->
+      match targets with
+      | [ fsm ] ->
+          let states = Mm.refs ctx.Engine.source obj "states" in
+          List.iter
+            (fun s ->
+              match Engine.resolve ~rule:"state2state" ctx s with
+              | Some fs -> Mm.add_ref ctx.Engine.target ~src:fsm "states" ~dst:fs
+              | None -> ())
+            states;
+          List.iter
+            (fun t ->
+              match Engine.resolve ~rule:"transition2transition" ctx t with
+              | Some ft -> Mm.add_ref ctx.Engine.target ~src:fsm "transitions" ~dst:ft
+              | None -> ())
+            (Mm.refs ctx.Engine.source obj "transitions");
+          (* Initial state: target of the completion transition leaving
+             the initial pseudo-state. *)
+          let initial_leaf =
+            Mm.refs ctx.Engine.source obj "transitions"
+            |> List.find_map (fun t ->
+                   match Mm.ref1 ctx.Engine.source t "source" with
+                   | Some s when is_pseudo s -> Mm.ref1 ctx.Engine.source t "target"
+                   | Some _ | None -> None)
+          in
+          (match Option.map (Engine.resolve ~rule:"state2state" ctx) initial_leaf with
+          | Some (Some fs) -> Mm.add_ref ctx.Engine.target ~src:fsm "initial" ~dst:fs
+          | Some None | None -> (
+              (* No pseudo-state: first real state is initial. *)
+              match
+                List.find_map (Engine.resolve ~rule:"state2state" ctx) states
+              with
+              | Some fs -> Mm.add_ref ctx.Engine.target ~src:fsm "initial" ~dst:fs
+              | None -> ()))
+      | _ -> ())
+
+let state2state =
+  Engine.rule ~name:"state2state" ~source:"ChartState"
+    ~guard:(fun _ obj -> not (is_pseudo obj))
+    (fun ctx obj ->
+      let fs = Mm.new_object ctx.Engine.target "FsmState" in
+      Mm.set_string ctx.Engine.target fs "name"
+        (Option.value (Mm.get_string obj "name") ~default:"?");
+      Mm.set_bool ctx.Engine.target fs "final" (Mm.get_string obj "kind" = Some "final");
+      [ fs ])
+
+let transition2transition =
+  Engine.rule ~name:"transition2transition" ~source:"ChartTransition"
+    ~guard:(fun ctx obj ->
+      (* Completion transitions from the initial pseudo-state carry no
+         trigger and only select the initial state. *)
+      match Mm.ref1 ctx.Engine.source obj "source" with
+      | Some s -> not (is_pseudo s)
+      | None -> false)
+    (fun ctx obj ->
+      let ft = Mm.new_object ctx.Engine.target "FsmTransition" in
+      Mm.set_string ctx.Engine.target ft "event"
+        (Option.value (Mm.get_string obj "trigger") ~default:"completion");
+      Option.iter (Mm.set_string ctx.Engine.target ft "guard") (Mm.get_string obj "guard");
+      Option.iter
+        (Mm.set_string ctx.Engine.target ft "actions")
+        (Mm.get_string obj "effect");
+      [ ft ])
+    ~bind:(fun ctx obj targets ->
+      match targets with
+      | [ ft ] ->
+          let wire role =
+            match Mm.ref1 ctx.Engine.source obj role with
+            | Some endpoint -> (
+                match Engine.resolve ~rule:"state2state" ctx endpoint with
+                | Some fs -> Mm.add_ref ctx.Engine.target ~src:ft role ~dst:fs
+                | None -> ())
+            | None -> ()
+          in
+          wire "source";
+          wire "target"
+      | _ -> ())
+
+let rules = [ chart2fsm; state2state; transition2transition ]
+
+(* Pre-flatten a statechart on the typed side so the rules stay
+   first-order, then re-express it as a flat chart. *)
+let flat_chart_of (sc : U.Statechart.t) =
+  let fsm = Flatten.run sc in
+  let states =
+    U.Statechart.state ~kind:U.Statechart.Initial "__initial"
+    :: List.map
+         (fun s ->
+           U.Statechart.state
+             ~kind:(if List.mem s fsm.Fsm.finals then U.Statechart.Final else U.Statechart.Simple)
+             s)
+         fsm.Fsm.states
+  in
+  let transitions =
+    U.Statechart.transition ~source:"__initial" ~target:fsm.Fsm.initial ()
+    :: List.map
+         (fun (tr : Fsm.transition) ->
+           U.Statechart.transition ~trigger:tr.Fsm.t_event ?guard:tr.Fsm.t_guard
+             ?effect:
+               (match tr.Fsm.t_actions with
+               | [] -> None
+               | actions -> Some (String.concat ";" actions))
+             ~source:tr.Fsm.t_src ~target:tr.Fsm.t_dst ())
+         fsm.Fsm.transitions
+  in
+  U.Statechart.make sc.U.Statechart.sc_name states transitions
+
+let run_traced (uml : U.Model.t) =
+  let flat =
+    { uml with U.Model.statecharts = List.map flat_chart_of uml.U.Model.statecharts }
+  in
+  let source = Metamodels.uml_to_mmodel flat in
+  let result =
+    Engine.run ~rules ~source ~target_metamodel:Metamodels.fsm_mm
+  in
+  let fsms =
+    Metamodels.mmodel_to_fsms result.Engine.output
+    |> List.map (fun f -> (f.Fsm.fsm_name, f))
+  in
+  (fsms, result.Engine.links)
+
+let run uml = fst (run_traced uml)

@@ -1,0 +1,25 @@
+(** The control-flow mapping expressed as a {e generic} rule-based
+    model-to-model transformation over the explicit metamodels of
+    {!Metamodels} — the smartQVT/ATL-style path of the paper's Fig. 2,
+    as opposed to the direct typed implementation in {!Uml2fsm}.
+
+    Rules:
+    - [chart2fsm]: every [Statechart] becomes an [Fsm];
+    - [state2state]: every non-pseudo leaf [ChartState] becomes an
+      [FsmState] (finality preserved);
+    - [transition2transition]: every triggered [ChartTransition]
+      becomes an [FsmTransition], resolving endpoints through the
+      trace.
+
+    Hierarchical charts are flattened (typed side) before the rules
+    run, keeping the rule set first-order. *)
+
+val rules : Umlfront_transform.Engine.rule list
+
+val run : Umlfront_uml.Model.t -> (string * Umlfront_fsm.Fsm.t) list
+(** Transform every statechart of the model through the generic engine
+    and read the result back.  Agrees with {!Uml2fsm.run} (tested). *)
+
+val run_traced :
+  Umlfront_uml.Model.t ->
+  (string * Umlfront_fsm.Fsm.t) list * Umlfront_metamodel.Trace.t

@@ -1,0 +1,33 @@
+(** Automatic thread partitioning — the remaining §6 future-work item:
+    "This would avoid the need for the designer to specify the
+    deployment and partition the system into threads".
+
+    Input: a UML model whose behaviour lives in {e one} thread (the
+    designer wrote a single sequential diagram).  The call-level
+    dataflow graph is built (one node per functional call, edges
+    weighted by the bytes of the shared tokens), clustered with the
+    same linear-clustering engine used for CPU allocation, and the
+    model is rewritten into one thread per cluster with the required
+    [Set*] messages inserted at cluster boundaries — producing exactly
+    the kind of multi-threaded model §4 consumes. *)
+
+type result = {
+  partitioned : Umlfront_uml.Model.t;
+  thread_of_call : (string * string) list;
+      (** message id ("sd:index:operation") → new thread *)
+  cut_tokens : (string * string * string) list;
+      (** (token, producer thread, consumer thread) for each inserted
+          inter-thread transfer *)
+}
+
+val run : ?threads:int -> Umlfront_uml.Model.t -> result
+(** [threads] bounds the partition size (default: unbounded linear
+    clustering).  IO reads/writes stay with the cluster of their
+    consumer/producer call.
+    @raise Invalid_argument when the model does not have exactly one
+    thread, or has no functional calls. *)
+
+val call_graph : Umlfront_uml.Model.t -> Umlfront_taskgraph.Graph.t
+(** The call-level dataflow graph the partitioner clusters: nodes are
+    functional calls of the single thread ("sd:index:operation"),
+    edges follow token production/consumption. *)

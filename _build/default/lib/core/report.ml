@@ -1,0 +1,79 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Model = Umlfront_simulink.Model
+module Caam = Umlfront_simulink.Caam
+module G = Umlfront_taskgraph.Graph
+module Clustering = Umlfront_taskgraph.Clustering
+
+let model_summary (m : Model.t) =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "model %s\n" m.Model.model_name;
+  List.iter (fun (k, v) -> out "  %-12s %d\n" k v) (Model.stats m);
+  let cpus = Caam.cpus m in
+  if cpus <> [] then (
+    out "  CAAM: %d CPU-SS\n" (List.length cpus);
+    List.iter
+      (fun cpu ->
+        out "    %s: threads [%s]\n" cpu.S.blk_name
+          (String.concat ", " (List.map (fun t -> t.S.blk_name) (Caam.threads_of_cpu cpu))))
+      cpus);
+  Buffer.contents buf
+
+let flow_summary (o : Flow.output) =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "allocation:\n";
+  List.iter (fun (th, cpu) -> out "  %-10s -> %s\n" th cpu) o.Flow.allocation;
+  out "channels: %d intra-CPU (SWFIFO), %d inter-CPU (GFIFO)\n" o.Flow.intra_channels
+    o.Flow.inter_channels;
+  out "temporal barriers inserted: %d\n" o.Flow.delays_inserted;
+  List.iter
+    (fun cycle -> out "  broke cycle: %s\n" (String.concat " -> " cycle))
+    o.Flow.broken_cycles;
+  if o.Flow.fsms <> [] then
+    out "FSMs generated: %s\n" (String.concat ", " (List.map fst o.Flow.fsms));
+  out "%s" (model_summary o.Flow.caam);
+  Buffer.contents buf
+
+let clustering_table g clustering =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iteri
+    (fun i group ->
+      let load = List.fold_left (fun acc id -> acc +. G.node_weight g id) 0.0 group in
+      out "  CPU%-3d load %6.1f  {%s}\n" i load (String.concat ", " group))
+    (Clustering.groups clustering);
+  out "  inter-cluster volume: %.1f\n" (Clustering.inter_cluster_volume g clustering);
+  out "  parallel time: %.1f (sequential %.1f)\n"
+    (Clustering.parallel_time g clustering)
+    (Clustering.sequential_time g);
+  out "  critical path on one CPU: %b\n" (Clustering.critical_path_cluster g clustering);
+  Buffer.contents buf
+
+let caam_tree (m : Model.t) =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let describe (b : S.block) =
+    match b.S.blk_type with
+    | B.Channel ->
+        Printf.sprintf "%s [channel %s]" b.S.blk_name
+          (Option.value (Caam.protocol b) ~default:"?")
+    | B.Unit_delay -> Printf.sprintf "%s [unit delay]" b.S.blk_name
+    | B.S_function ->
+        Printf.sprintf "%s [S-function %s]" b.S.blk_name
+          (Option.value (S.param_string b "FunctionName") ~default:b.S.blk_name)
+    | ty -> Printf.sprintf "%s [%s]" b.S.blk_name (B.to_string ty)
+  in
+  let rec walk indent sys =
+    List.iter
+      (fun (b : S.block) ->
+        out "%s%s\n" indent (describe b);
+        match b.S.blk_system with
+        | Some inner -> walk (indent ^ "  ") inner
+        | None -> ())
+      (S.blocks sys)
+  in
+  out "%s\n" m.Model.model_name;
+  walk "  " m.Model.root;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Human-readable reports about a flow run: the numbers the paper's
+    figures show (generated-model structure, clustering result, channel
+    protocols), printed as aligned tables. *)
+
+val model_summary : Umlfront_simulink.Model.t -> string
+(** Block/line/subsystem counts and CAAM role inventory. *)
+
+val flow_summary : Flow.output -> string
+(** Allocation, channel, barrier and FSM statistics for a run. *)
+
+val clustering_table :
+  Umlfront_taskgraph.Graph.t -> Umlfront_taskgraph.Clustering.t -> string
+(** Per-cluster membership and load plus the quality metrics
+    (inter-cluster volume, parallel time, critical-path locality). *)
+
+val caam_tree : Umlfront_simulink.Model.t -> string
+(** Indented CPU-SS / Thread-SS / channel hierarchy, the shape Fig. 8
+    shows. *)

@@ -1,0 +1,26 @@
+module F = Umlfront_fsm
+
+type generated = {
+  fsm : F.Fsm.t;
+  minimized : F.Fsm.t;
+  c_header : string;
+  c_source : string;
+  dot : string;
+}
+
+let run_one ?(minimize = true) chart =
+  let fsm = F.Flatten.run chart in
+  let minimized = if minimize then F.Minimize.run fsm else fsm in
+  {
+    fsm;
+    minimized;
+    c_header = F.Codegen_c.header minimized;
+    c_source = F.Codegen_c.source minimized;
+    dot = F.Dot.to_string minimized;
+  }
+
+let run ?minimize (uml : Umlfront_uml.Model.t) =
+  List.map
+    (fun (chart : Umlfront_uml.Statechart.t) ->
+      (chart.Umlfront_uml.Statechart.sc_name, run_one ?minimize chart))
+    uml.Umlfront_uml.Model.statecharts

@@ -1,0 +1,1 @@
+lib/cosim/cosim.ml: Format Hashtbl List Option String Umlfront_dataflow Umlfront_fsm

@@ -1,0 +1,1 @@
+lib/cosim/cosim.mli: Format Umlfront_dataflow Umlfront_fsm

@@ -1,0 +1,1 @@
+lib/cosim/script.ml: Cosim Printf String Umlfront_fsm

@@ -1,0 +1,1 @@
+lib/cosim/script.mli: Cosim Umlfront_fsm

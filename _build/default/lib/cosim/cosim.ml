@@ -1,0 +1,134 @@
+module Fsm = Umlfront_fsm.Fsm
+module Guard_expr = Umlfront_fsm.Guard_expr
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+
+type watcher = { watch_event : string; watch_when : Guard_expr.t }
+
+type setter = {
+  set_action : string;
+  set_var : string;
+  set_to : Guard_expr.t;
+}
+
+type update = { update_var : string; update_to : Guard_expr.t }
+
+type config = {
+  controller : Fsm.t;
+  watchers : watcher list;
+  setters : setter list;
+  updates : update list;
+  initial_store : (string * float) list;
+}
+
+let watcher ~event text = { watch_event = event; watch_when = Guard_expr.parse_exn text }
+
+let setter ~action ~var text =
+  { set_action = action; set_var = var; set_to = Guard_expr.parse_exn text }
+
+let update ~var text = { update_var = var; update_to = Guard_expr.parse_exn text }
+
+type step = {
+  round : int;
+  outputs : (string * float) list;
+  events : string list;
+  state_after : string;
+  actions : string list;
+  store_after : (string * float) list;
+}
+
+type outcome = {
+  steps : step list;
+  final_state : string;
+  final_store : (string * float) list;
+}
+
+let run ?sfunctions ~rounds sdf config =
+  let session = Exec.start ?sfunctions sdf in
+  let store = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace store k v) config.initial_store;
+  let watcher_was_true = Hashtbl.create 8 in
+  let fsm_state = ref config.controller.Fsm.initial in
+  let steps = ref [] in
+  for round = 0 to rounds - 1 do
+    (* 1. Dataflow round; inports read matching store variables. *)
+    let stimulus name =
+      match Hashtbl.find_opt store name with
+      | Some v -> v
+      | None ->
+          let h = float_of_int (Hashtbl.hash name mod 10) in
+          sin ((float_of_int round +. h) /. 5.0)
+    in
+    let outputs = Exec.step session ~stimulus in
+    let env v =
+      match List.assoc_opt v outputs with
+      | Some value -> value
+      | None -> Option.value (Hashtbl.find_opt store v) ~default:0.0
+    in
+    (* 2. Edge-triggered watchers. *)
+    let events =
+      List.filter_map
+        (fun w ->
+          let now = Guard_expr.eval ~env w.watch_when in
+          let before =
+            Option.value (Hashtbl.find_opt watcher_was_true w.watch_event) ~default:false
+          in
+          Hashtbl.replace watcher_was_true w.watch_event now;
+          if now && not before then Some w.watch_event else None)
+        config.watchers
+    in
+    (* 3. FSM consumes the events; guards see the same environment. *)
+    let guard_eval text =
+      match Guard_expr.parse text with
+      | Ok e -> Guard_expr.eval ~env e
+      | Error _ -> true
+    in
+    let fired_actions = ref [] in
+    List.iter
+      (fun event ->
+        match Fsm.step ~guard_eval config.controller ~state:!fsm_state ~event with
+        | Some s ->
+            fsm_state := s.Fsm.after;
+            fired_actions := !fired_actions @ s.Fsm.actions
+        | None -> ())
+      events;
+    (* 4. Actions apply their setters. *)
+    List.iter
+      (fun action ->
+        List.iter
+          (fun s ->
+            if String.equal s.set_action action then
+              Hashtbl.replace store s.set_var (Guard_expr.eval_float ~env s.set_to))
+          config.setters)
+      !fired_actions;
+    (* 5. Environment dynamics, committed simultaneously. *)
+    let next_values =
+      List.map (fun u -> (u.update_var, Guard_expr.eval_float ~env u.update_to)) config.updates
+    in
+    List.iter (fun (var, v) -> Hashtbl.replace store var v) next_values;
+    let store_after =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] |> List.sort compare
+    in
+    steps :=
+      {
+        round;
+        outputs;
+        events;
+        state_after = !fsm_state;
+        actions = !fired_actions;
+        store_after;
+      }
+      :: !steps
+  done;
+  let steps = List.rev !steps in
+  {
+    steps;
+    final_state = !fsm_state;
+    final_store =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] |> List.sort compare;
+  }
+
+let pp_step ppf s =
+  Format.fprintf ppf "round %d: state %s%s%s" s.round s.state_after
+    (match s.events with [] -> "" | es -> " events [" ^ String.concat "; " es ^ "]")
+    (match s.actions with [] -> "" | acts -> " actions [" ^ String.concat "; " acts ^ "]")

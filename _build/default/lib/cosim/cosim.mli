@@ -1,0 +1,68 @@
+(** Co-simulation of an event-based controller (FSM) with a dataflow
+    model (SDF) — the {e alternative} integration strategy the paper's
+    related work describes (§2: Exite couples Simulink with UML tools
+    at simulation time, where this tool couples at the model level).
+    Implemented here so the two strategies can be compared on the same
+    system.
+
+    Per round:
+    + the dataflow model fires once; top-level [Inport]s read the
+      variable {e store} when it holds a variable of the same name
+      (otherwise the default stimulus);
+    + {e watchers} are evaluated over (output-port values ∪ store);
+      each watcher whose expression becomes true (edge-triggered)
+      queues its event;
+    + the FSM consumes the queued events in order — transition guards
+      are evaluated with {!Umlfront_fsm.Guard_expr} over the same
+      environment — and every fired action applies its {e setters},
+      updating the store;
+    + the updated store feeds the next round's inputs. *)
+
+type watcher = { watch_event : string; watch_when : Umlfront_fsm.Guard_expr.t }
+
+type setter = {
+  set_action : string;  (** FSM action label that triggers it *)
+  set_var : string;
+  set_to : Umlfront_fsm.Guard_expr.t;  (** evaluated over env ∪ store *)
+}
+
+type update = { update_var : string; update_to : Umlfront_fsm.Guard_expr.t }
+(** Environment dynamics: applied every round (after the FSM), all
+    right-hand sides evaluated against the pre-update environment and
+    committed simultaneously — a forward-Euler plant in the store. *)
+
+type config = {
+  controller : Umlfront_fsm.Fsm.t;
+  watchers : watcher list;
+  setters : setter list;
+  updates : update list;
+  initial_store : (string * float) list;
+}
+
+val watcher : event:string -> string -> watcher
+(** [watcher ~event expr_text] — parses the expression.
+    @raise Invalid_argument on a syntax error. *)
+
+val setter : action:string -> var:string -> string -> setter
+val update : var:string -> string -> update
+
+type step = {
+  round : int;
+  outputs : (string * float) list;  (** top-level output ports *)
+  events : string list;  (** fired this round, in order *)
+  state_after : string;
+  actions : string list;
+  store_after : (string * float) list;
+}
+
+type outcome = { steps : step list; final_state : string; final_store : (string * float) list }
+
+val run :
+  ?sfunctions:(string -> (float array -> float array) option) ->
+  rounds:int ->
+  Umlfront_dataflow.Sdf.t ->
+  config ->
+  outcome
+(** @raise Umlfront_dataflow.Exec.Deadlock on a zero-delay cycle. *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,128 @@
+type t = {
+  chart : string option;
+  rounds : int option;
+  watchers : Cosim.watcher list;
+  setters : Cosim.setter list;
+  updates : Cosim.update list;
+  initial_store : (string * float) list;
+}
+
+let empty =
+  { chart = None; rounds = None; watchers = []; setters = []; updates = []; initial_store = [] }
+
+let strip s = String.trim s
+
+let split_first_space s =
+  match String.index_opt s ' ' with
+  | Some i ->
+      (String.sub s 0 i, strip (String.sub s (i + 1) (String.length s - i - 1)))
+  | None -> (s, "")
+
+(* "lhs <keyword> rhs" for a known keyword surrounded by spaces. *)
+let split_keyword keyword s =
+  let pat = " " ^ keyword ^ " " in
+  let n = String.length pat in
+  let rec at i =
+    if i + n > String.length s then None
+    else if String.sub s i n = pat then
+      Some (strip (String.sub s 0 i), strip (String.sub s (i + n) (String.length s - i - n)))
+    else at (i + 1)
+  in
+  at 0
+
+let parse_line acc line_number line =
+  let fail what = Error (Printf.sprintf "line %d: %s" line_number what) in
+  let line = match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then Ok acc
+  else
+    let keyword, rest = split_first_space line in
+    match keyword with
+    | "fsm" -> if rest = "" then fail "fsm needs a chart name" else Ok { acc with chart = Some rest }
+    | "rounds" -> (
+        match int_of_string_opt rest with
+        | Some n when n > 0 -> Ok { acc with rounds = Some n }
+        | Some _ | None -> fail "rounds needs a positive integer")
+    | "init" -> (
+        match split_keyword "=" rest with
+        | Some (var, value) -> (
+            match float_of_string_opt value with
+            | Some v -> Ok { acc with initial_store = acc.initial_store @ [ (var, v) ] }
+            | None -> fail "init needs a number")
+        | None -> fail "init syntax: init <var> = <number>")
+    | "watch" -> (
+        match split_keyword "when" rest with
+        | Some (event, expr) -> (
+            match Umlfront_fsm.Guard_expr.parse expr with
+            | Ok e ->
+                Ok
+                  {
+                    acc with
+                    watchers =
+                      acc.watchers @ [ { Cosim.watch_event = event; watch_when = e } ];
+                  }
+            | Error msg -> fail msg)
+        | None -> fail "watch syntax: watch <event> when <expr>")
+    | "on" -> (
+        match split_keyword "set" rest with
+        | Some (action, assignment) -> (
+            match split_keyword "=" assignment with
+            | Some (var, expr) -> (
+                match Umlfront_fsm.Guard_expr.parse expr with
+                | Ok e ->
+                    Ok
+                      {
+                        acc with
+                        setters =
+                          acc.setters
+                          @ [ { Cosim.set_action = action; set_var = var; set_to = e } ];
+                      }
+                | Error msg -> fail msg)
+            | None -> fail "on syntax: on <action> set <var> = <expr>")
+        | None -> fail "on syntax: on <action> set <var> = <expr>")
+    | "update" -> (
+        match split_keyword "=" rest with
+        | Some (var, expr) -> (
+            match Umlfront_fsm.Guard_expr.parse expr with
+            | Ok e ->
+                Ok
+                  {
+                    acc with
+                    updates = acc.updates @ [ { Cosim.update_var = var; update_to = e } ];
+                  }
+            | Error msg -> fail msg)
+        | None -> fail "update syntax: update <var> = <expr>")
+    | other -> fail (Printf.sprintf "unknown directive %S" other)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc n = function
+    | [] -> Ok acc
+    | line :: rest -> (
+        match parse_line acc n line with
+        | Ok acc -> go acc (n + 1) rest
+        | Error _ as e -> e)
+  in
+  go empty 1 lines
+
+let parse_exn text =
+  match parse text with Ok t -> t | Error msg -> invalid_arg ("cosim script: " ^ msg)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_exn content
+
+let configure controller t =
+  {
+    Cosim.controller;
+    watchers = t.watchers;
+    setters = t.setters;
+    updates = t.updates;
+    initial_store = t.initial_store;
+  }

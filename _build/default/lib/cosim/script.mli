@@ -1,0 +1,30 @@
+(** A small line-based script format for co-simulation glue, so the
+    CLI can run [umlfront cosim model.xml --script glue.cosim]:
+
+    {v
+    # comment
+    fsm elevator_mode            # statechart to drive (default: all, composed)
+    rounds 30                    # default round count
+    init call = 1
+    watch call_above when call > 0
+    watch arrived when Height > 8
+    on motor_on set powered = 1
+    update Height = Height + 0.6 * powered
+    v} *)
+
+type t = {
+  chart : string option;
+  rounds : int option;
+  watchers : Cosim.watcher list;
+  setters : Cosim.setter list;
+  updates : Cosim.update list;
+  initial_store : (string * float) list;
+}
+
+val parse : string -> (t, string) result
+(** The error names the offending line. *)
+
+val parse_exn : string -> t
+val load : string -> t
+
+val configure : Umlfront_fsm.Fsm.t -> t -> Cosim.config

@@ -1,0 +1,1 @@
+lib/dataflow/exec.ml: Array Float Hashtbl List Option Printf Sdf String Umlfront_simulink Umlfront_taskgraph

@@ -1,0 +1,1 @@
+lib/dataflow/exec.mli: Sdf

@@ -1,0 +1,1 @@
+lib/dataflow/kpn.ml: Array Exec Hashtbl List Printf Queue Sdf Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/dataflow/kpn.mli: Sdf

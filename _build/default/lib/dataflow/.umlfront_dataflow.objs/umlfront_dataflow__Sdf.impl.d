@@ -1,0 +1,1 @@
+lib/dataflow/sdf.ml: Format List Option Printf String Umlfront_simulink Umlfront_taskgraph

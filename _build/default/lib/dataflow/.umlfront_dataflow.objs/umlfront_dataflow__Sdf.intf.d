@@ -1,0 +1,1 @@
+lib/dataflow/sdf.mli: Format Umlfront_simulink Umlfront_taskgraph

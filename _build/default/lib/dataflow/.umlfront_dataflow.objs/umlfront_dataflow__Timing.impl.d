@@ -1,0 +1,1 @@
+lib/dataflow/timing.ml: Exec Float Format Hashtbl List Option Sdf Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/dataflow/timing.mli: Format Sdf

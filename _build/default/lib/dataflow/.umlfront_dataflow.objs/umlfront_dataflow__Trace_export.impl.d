@@ -1,0 +1,1 @@
+lib/dataflow/trace_export.ml: Array Buffer Bytes Exec Float Hashtbl List Option Printf Sdf String Timing Umlfront_simulink

@@ -1,0 +1,1 @@
+lib/dataflow/trace_export.mli: Exec Sdf

@@ -1,0 +1,67 @@
+(** Synchronous execution of a flattened SDF graph — the stand-in for
+    running the generated model in Simulink.
+
+    Each round, every actor fires once in topological order; [UnitDelay]
+    actors output the value stored in the previous round (their initial
+    condition in round 0), which is what lets cyclic models execute.  A
+    dependency cycle with no UnitDelay on it is a deadlock and raises
+    {!Deadlock} — mechanically validating the temporal-barrier
+    insertion of §4.2.2. *)
+
+exception Deadlock of string list
+(** Actors along a zero-delay dependency cycle. *)
+
+type outcome = {
+  rounds : int;
+  traces : (string * float array) list;
+      (** per top-level Outport: one sample per round *)
+  firings : (string * int) list;  (** per actor *)
+}
+
+val run :
+  ?sfunctions:(string -> (float array -> float array) option) ->
+  ?stimulus:(string -> int -> float) ->
+  rounds:int ->
+  Sdf.t ->
+  outcome
+(** [sfunctions name] supplies the behaviour of S-Function blocks whose
+    [FunctionName] is [name]; unknown S-Functions get a deterministic
+    pseudo-behaviour derived from the name (an affine map of the input
+    sum), so any generated model executes out of the box.  [stimulus
+    inport round] feeds top-level Inports (default: [sin] of the round
+    scaled per port).  Unconnected actor inputs read 0. *)
+
+val default_sfunction : string -> float array -> int -> float array
+(** The pseudo-behaviour: [default_sfunction name inputs n_outputs]. *)
+
+(** {1 Stepping}
+
+    A [session] executes one round at a time with a caller-supplied
+    stimulus per round, keeping delay state across rounds — what
+    co-simulation and interactive drivers need. *)
+
+type session
+
+val start :
+  ?sfunctions:(string -> (float array -> float array) option) -> Sdf.t -> session
+(** @raise Deadlock on a zero-delay cycle. *)
+
+val step : session -> stimulus:(string -> float) -> (string * float) list
+(** Fire every actor once; returns the top-level output-port samples. *)
+
+val rounds_executed : session -> int
+
+val firing_order : Sdf.t -> string list
+(** Topological firing order with UnitDelay outputs cut.
+    @raise Deadlock on a zero-delay cycle. *)
+
+val behaviour :
+  sfunctions:(string -> (float array -> float array) option) ->
+  Sdf.actor ->
+  float array ->
+  float array
+(** Pure behaviour of a combinational actor: inputs to outputs
+    (1-indexed port [p] at index [p-1]).  [UnitDelay], top-level
+    [Inport]/[Outport] and structural blocks are the scheduler's
+    business.
+    @raise Invalid_argument on those stateful/structural kinds. *)

@@ -1,0 +1,235 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Model = Umlfront_simulink.Model
+module G = Umlfront_taskgraph.Graph
+
+type actor = {
+  actor_name : string;
+  actor_path : string list;
+  actor_block : S.block;
+  actor_inputs : int;
+  actor_outputs : int;
+}
+
+type edge = {
+  edge_src : string;
+  edge_src_port : int;
+  edge_dst : string;
+  edge_dst_port : int;
+  edge_channels : (string * string) list;
+}
+
+type t = {
+  actors : actor list;
+  edges : edge list;
+  graph_inputs : (string * int) list;
+  graph_outputs : string list;
+}
+
+type frame = { fsys : S.t; fpath : string list }
+
+let structural ~at_root (b : S.block) =
+  match b.S.blk_type with
+  | B.Subsystem | B.Channel -> true
+  | B.Inport | B.Outport -> not at_root
+  | _ -> false
+
+let actor_name path (b : S.block) = String.concat "/" (path @ [ b.S.blk_name ])
+
+let make_actor path (b : S.block) =
+  let inputs, outputs = S.port_counts b in
+  {
+    actor_name = actor_name path b;
+    actor_path = path;
+    actor_block = b;
+    actor_inputs = inputs;
+    actor_outputs = outputs;
+  }
+
+let boundary_port sys ty index =
+  let candidates = S.blocks_of_type sys ty in
+  match List.find_opt (fun b -> S.inport_index b = index) candidates with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "sdf: system %s has no %s with Port %d" sys.S.sys_name
+           (B.to_string ty) index)
+
+(* Follow a destination endpoint through structural blocks down to leaf
+   actor inputs.  [stack] is the chain of frames, innermost first. *)
+let rec trace_dst stack (dst : S.port_ref) channels acc =
+  match stack with
+  | [] -> acc
+  | frame :: outer -> (
+      let sys = frame.fsys in
+      let b = S.find_block_exn sys dst.S.block in
+      let at_root = frame.fpath = [] in
+      match b.S.blk_type with
+      | B.Subsystem ->
+          let inner =
+            match b.S.blk_system with
+            | Some i -> i
+            | None -> invalid_arg (Printf.sprintf "sdf: subsystem %s is empty" b.S.blk_name)
+          in
+          let inport = boundary_port inner B.Inport dst.S.port in
+          let inner_frame = { fsys = inner; fpath = frame.fpath @ [ b.S.blk_name ] } in
+          List.fold_left
+            (fun acc d -> trace_dst (inner_frame :: stack) d channels acc)
+            acc
+            (S.consumers inner inport.S.blk_name 1)
+      | B.Outport when not at_root -> (
+          match outer with
+          | [] -> acc
+          | parent :: _ ->
+              let subsys_name =
+                List.nth frame.fpath (List.length frame.fpath - 1)
+              in
+              let port = S.inport_index b in
+              List.fold_left
+                (fun acc d -> trace_dst outer d channels acc)
+                acc
+                (S.consumers parent.fsys subsys_name port))
+      | B.Channel ->
+          let protocol =
+            Option.value (S.param_string b Umlfront_simulink.Caam.protocol_param)
+              ~default:"WIRE"
+          in
+          let channels = channels @ [ (b.S.blk_name, protocol) ] in
+          List.fold_left
+            (fun acc d -> trace_dst stack d channels acc)
+            acc
+            (S.consumers sys b.S.blk_name 1)
+      | _ ->
+          (* Leaf actor (or root-level Outport). *)
+          (actor_name frame.fpath b, dst.S.port, channels) :: acc)
+
+let stack_for (m : Model.t) path =
+  (* Frames from the system at [path] back to the root. *)
+  let rec descend stack sys walked = function
+    | [] -> { fsys = sys; fpath = walked } :: stack
+    | name :: rest -> (
+        let b = S.find_block_exn sys name in
+        match b.S.blk_system with
+        | Some inner ->
+            descend
+              ({ fsys = sys; fpath = walked } :: stack)
+              inner (walked @ [ name ]) rest
+        | None -> invalid_arg (Printf.sprintf "sdf: %s is not a subsystem" name))
+  in
+  descend [] m.Model.root [] path
+
+let destinations_of_line (m : Model.t) ~path (l : S.line) =
+  let stack = stack_for m path in
+  trace_dst stack l.S.dst [] []
+  |> List.map (fun (actor, port, _channels) -> (actor, port))
+
+let of_model (m : Model.t) =
+  let actors = ref [] in
+  let edges = ref [] in
+  (* Enumerate frames depth-first, keeping the stack to the root. *)
+  let rec walk stack =
+    match stack with
+    | [] -> ()
+    | frame :: _ ->
+        let at_root = frame.fpath = [] in
+        List.iter
+          (fun (b : S.block) ->
+            if not (structural ~at_root b) then
+              actors := make_actor frame.fpath b :: !actors)
+          (S.blocks frame.fsys);
+        (* Origin lines: sources that are leaf actors here. *)
+        List.iter
+          (fun (l : S.line) ->
+            let src_block = S.find_block_exn frame.fsys l.S.src.S.block in
+            if not (structural ~at_root src_block) then
+              let dests = trace_dst stack l.S.dst [] [] in
+              List.iter
+                (fun (dst_actor, dst_port, channels) ->
+                  edges :=
+                    {
+                      edge_src = actor_name frame.fpath src_block;
+                      edge_src_port = l.S.src.S.port;
+                      edge_dst = dst_actor;
+                      edge_dst_port = dst_port;
+                      edge_channels = channels;
+                    }
+                    :: !edges)
+                dests)
+          (S.lines frame.fsys);
+        List.iter
+          (fun (b : S.block) ->
+            match b.S.blk_system with
+            | Some inner ->
+                walk ({ fsys = inner; fpath = frame.fpath @ [ b.S.blk_name ] } :: stack)
+            | None -> ())
+          (S.blocks frame.fsys)
+  in
+  walk [ { fsys = m.Model.root; fpath = [] } ];
+  let actors = List.rev !actors in
+  let edges = List.rev !edges in
+  let graph_inputs =
+    actors
+    |> List.filter (fun a ->
+           a.actor_path = [] && a.actor_block.S.blk_type = B.Inport)
+    |> List.map (fun a ->
+           let fed =
+             List.length (List.filter (fun e -> String.equal e.edge_src a.actor_name) edges)
+           in
+           (a.actor_name, fed))
+  in
+  let graph_outputs =
+    actors
+    |> List.filter (fun a ->
+           a.actor_path = [] && a.actor_block.S.blk_type = B.Outport)
+    |> List.map (fun a -> a.actor_name)
+  in
+  { actors; edges; graph_inputs; graph_outputs }
+
+let find_actor t name = List.find_opt (fun a -> String.equal a.actor_name name) t.actors
+let preds t name = List.filter (fun e -> String.equal e.edge_dst name) t.edges
+let succs t name = List.filter (fun e -> String.equal e.edge_src name) t.edges
+
+let cpu_of_actor a = match a.actor_path with [] -> None | cpu :: _ -> Some cpu
+
+let thread_of_actor a =
+  match a.actor_path with _ :: thread :: _ -> Some thread | [ _ ] | [] -> None
+
+let actor_cost a =
+  match List.assoc_opt "Cost" a.actor_block.S.blk_params with
+  | Some (B.P_float f) -> f
+  | Some (B.P_int i) -> float_of_int i
+  | Some _ | None -> 1.0
+
+let to_taskgraph t =
+  let g = G.create () in
+  List.iter (fun a -> G.add_node g ~weight:(actor_cost a) a.actor_name) t.actors;
+  List.iter
+    (fun e ->
+      let src = find_actor t e.edge_src in
+      let is_delay =
+        match src with
+        | Some a -> a.actor_block.S.blk_type = B.Unit_delay
+        | None -> false
+      in
+      if not is_delay then G.add_edge g e.edge_src e.edge_dst)
+    t.edges;
+  g
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>sdf (%d actors, %d edges)" (List.length t.actors)
+    (List.length t.edges);
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@,  %s [%d in, %d out]" a.actor_name a.actor_inputs
+        a.actor_outputs)
+    t.actors;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  %s/%d -> %s/%d%s" e.edge_src e.edge_src_port e.edge_dst
+        e.edge_dst_port
+        (match e.edge_channels with
+        | [] -> ""
+        | chs ->
+            " via " ^ String.concat "," (List.map (fun (n, p) -> n ^ ":" ^ p) chs)))
+    t.edges;
+  Format.fprintf ppf "@]"

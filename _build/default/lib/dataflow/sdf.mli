@@ -1,0 +1,64 @@
+(** Flattening a (CAAM) Simulink model into a synchronous-dataflow
+    graph of leaf actors.
+
+    Subsystem boundaries (Inport/Outport pairs) and Channel blocks are
+    dissolved into direct actor-to-actor edges; each edge remembers the
+    channels it crossed so the timing model can charge the right
+    protocol cost.  This is the executable stand-in for Simulink
+    simulation. *)
+
+type actor = {
+  actor_name : string;  (** slash-joined hierarchy path, unique *)
+  actor_path : string list;  (** enclosing subsystem blocks, root first *)
+  actor_block : Umlfront_simulink.System.block;
+  actor_inputs : int;
+  actor_outputs : int;
+}
+
+type edge = {
+  edge_src : string;  (** actor name *)
+  edge_src_port : int;
+  edge_dst : string;
+  edge_dst_port : int;
+  edge_channels : (string * string) list;
+      (** (channel block name, protocol) crossed, outermost first *)
+}
+
+type t = {
+  actors : actor list;
+  edges : edge list;
+  graph_inputs : (string * int) list;
+      (** top-level Inport name -> fed actor count (diagnostic) *)
+  graph_outputs : string list;  (** top-level Outport actor names *)
+}
+
+val destinations_of_line :
+  Umlfront_simulink.Model.t ->
+  path:string list ->
+  Umlfront_simulink.System.line ->
+  (string * int) list
+(** Leaf actors (name, input port) ultimately fed by one concrete line
+    of the system at [path].  Used by the loop breaker to locate the
+    data link a temporal barrier must be spliced into. *)
+
+val of_model : Umlfront_simulink.Model.t -> t
+(** @raise Invalid_argument when a subsystem boundary port has no
+    matching Inport/Outport block, or a Channel is wired to more than
+    one producer/consumer. *)
+
+val find_actor : t -> string -> actor option
+val preds : t -> string -> edge list
+val succs : t -> string -> edge list
+
+val cpu_of_actor : actor -> string option
+(** First element of the path — the CPU-SS for CAAM models. *)
+
+val thread_of_actor : actor -> string option
+
+val to_taskgraph : t -> Umlfront_taskgraph.Graph.t
+(** Project onto a task graph (actor = node, edge weight 1 per link),
+    with edges out of UnitDelay actors {e dropped} — a UnitDelay breaks
+    the dependency cycle within an iteration, which is precisely the
+    paper's temporal-barrier semantics. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+let traces_csv (o : Exec.outcome) =
+  let buf = Buffer.create 512 in
+  let ports = List.map fst o.Exec.traces in
+  Buffer.add_string buf ("round," ^ String.concat "," ports ^ "\n");
+  for round = 0 to o.Exec.rounds - 1 do
+    Buffer.add_string buf (string_of_int round);
+    List.iter
+      (fun (_, samples) -> Buffer.add_string buf (Printf.sprintf ",%.9f" samples.(round)))
+      o.Exec.traces;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* Rebuild the schedule the way Timing does, but keep per-actor rows. *)
+let scheduled_rows sdf =
+  let model = Timing.default_cost_model in
+  let order = Exec.firing_order sdf in
+  let finish = Hashtbl.create 32 in
+  let cpu_free = Hashtbl.create 8 in
+  List.filter_map
+    (fun name ->
+      let a = Option.get (Sdf.find_actor sdf name) in
+      let cost =
+        match a.Sdf.actor_block.Umlfront_simulink.System.blk_type with
+        | Umlfront_simulink.Block.Inport | Umlfront_simulink.Block.Outport
+          when a.Sdf.actor_path = [] ->
+            0.0
+        | _ -> model.Timing.default_actor_cost
+      in
+      let latency (e : Sdf.edge) =
+        let protocols = List.map snd e.Sdf.edge_channels in
+        if List.mem "GFIFO" protocols then model.Timing.gfifo_cost
+        else if List.mem "SWFIFO" protocols then model.Timing.swfifo_cost
+        else model.Timing.wire_cost
+      in
+      let ready =
+        List.fold_left
+          (fun acc e ->
+            Float.max acc
+              (Option.value (Hashtbl.find_opt finish e.Sdf.edge_src) ~default:0.0
+              +. latency e))
+          0.0 (Sdf.preds sdf name)
+      in
+      let cpu = Sdf.cpu_of_actor a in
+      let start =
+        match cpu with
+        | Some c -> Float.max ready (Option.value (Hashtbl.find_opt cpu_free c) ~default:0.0)
+        | None -> ready
+      in
+      let done_at = start +. cost in
+      Hashtbl.replace finish name done_at;
+      Option.iter (fun c -> Hashtbl.replace cpu_free c done_at) cpu;
+      match cpu with
+      | Some c -> Some (name, c, Sdf.thread_of_actor a, start, done_at)
+      | None -> None)
+    order
+
+let schedule_csv sdf =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "actor,cpu,thread,start,finish\n";
+  List.iter
+    (fun (name, cpu, thread, start, done_at) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%.2f,%.2f\n" name cpu
+           (Option.value thread ~default:"-")
+           start done_at))
+    (scheduled_rows sdf);
+  Buffer.contents buf
+
+let gantt ?(width = 60) sdf =
+  let rows = scheduled_rows sdf in
+  let horizon = List.fold_left (fun acc (_, _, _, _, f) -> Float.max acc f) 1.0 rows in
+  let cpus =
+    List.fold_left
+      (fun acc (_, cpu, _, _, _) -> if List.mem cpu acc then acc else acc @ [ cpu ])
+      [] rows
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun cpu ->
+      let lane = Bytes.make width '.' in
+      List.iter
+        (fun (_, c, _, start, finish) ->
+          if String.equal c cpu then
+            let from = int_of_float (start /. horizon *. float_of_int (width - 1)) in
+            let till = int_of_float (finish /. horizon *. float_of_int (width - 1)) in
+            for i = from to min till (width - 1) do
+              Bytes.set lane i '#'
+            done)
+        rows;
+      Buffer.add_string buf (Printf.sprintf "  %-8s |%s| 0..%.1f\n" cpu (Bytes.to_string lane) horizon))
+    cpus;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Export of simulation results for downstream plotting/inspection. *)
+
+val traces_csv : Exec.outcome -> string
+(** One row per round, one column per top-level output port:
+    [round,portA,portB,...]. *)
+
+val schedule_csv : Sdf.t -> string
+(** The timing model's per-actor schedule:
+    [actor,cpu,thread,start,finish]. *)
+
+val gantt : ?width:int -> Sdf.t -> string
+(** ASCII Gantt chart of one iteration per CPU, from the timing
+    model's schedule — a quick visual for reports. *)

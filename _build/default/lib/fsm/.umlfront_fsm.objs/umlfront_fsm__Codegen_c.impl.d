@@ -1,0 +1,1 @@
+lib/fsm/codegen_c.ml: Buffer Filename Fsm Guard_expr Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fsm/codegen_c.mli: Fsm

@@ -1,0 +1,1 @@
+lib/fsm/compose.ml: Fsm Hashtbl List Printf String

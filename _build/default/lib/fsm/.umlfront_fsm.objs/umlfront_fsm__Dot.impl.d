@@ -1,0 +1,1 @@
+lib/fsm/dot.ml: Buffer Fsm List Printf String

@@ -1,0 +1,1 @@
+lib/fsm/flatten.ml: Fsm Hashtbl List Option Printf String Umlfront_uml

@@ -1,0 +1,1 @@
+lib/fsm/flatten.mli: Fsm Umlfront_uml

@@ -1,0 +1,1 @@
+lib/fsm/fsm.ml: Format Hashtbl List Option Printf String

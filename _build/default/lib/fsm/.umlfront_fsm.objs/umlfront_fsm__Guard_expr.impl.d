@@ -1,0 +1,1 @@
+lib/fsm/guard_expr.ml: Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/fsm/minimize.ml: Fsm Hashtbl List

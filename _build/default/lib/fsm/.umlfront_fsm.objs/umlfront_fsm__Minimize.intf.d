@@ -1,0 +1,1 @@
+lib/fsm/minimize.mli: Fsm

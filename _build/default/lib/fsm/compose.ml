@@ -1,0 +1,79 @@
+let check_composable (m : Fsm.t) =
+  if not (Fsm.is_deterministic m) then
+    invalid_arg (Printf.sprintf "compose: %s is non-deterministic" m.Fsm.fsm_name);
+  if List.exists (fun (tr : Fsm.transition) -> tr.Fsm.t_guard <> None) m.Fsm.transitions
+  then invalid_arg (Printf.sprintf "compose: %s uses guards" m.Fsm.fsm_name)
+
+let product ?name (a : Fsm.t) (b : Fsm.t) =
+  check_composable a;
+  check_composable b;
+  let name =
+    match name with Some n -> n | None -> a.Fsm.fsm_name ^ "*" ^ b.Fsm.fsm_name
+  in
+  let events =
+    List.sort_uniq compare (Fsm.events a @ Fsm.events b)
+  in
+  let pair_name (s1, s2) = s1 ^ "|" ^ s2 in
+  let step m state event =
+    List.find_opt
+      (fun (tr : Fsm.transition) ->
+        String.equal tr.Fsm.t_src state && String.equal tr.Fsm.t_event event)
+      m.Fsm.transitions
+  in
+  let seen = Hashtbl.create 32 in
+  let transitions = ref [] in
+  let rec explore (s1, s2) =
+    if not (Hashtbl.mem seen (s1, s2)) then (
+      Hashtbl.replace seen (s1, s2) ();
+      List.iter
+        (fun event ->
+          let t1 = step a s1 event and t2 = step b s2 event in
+          match (t1, t2) with
+          | None, None -> ()
+          | _, _ ->
+              let d1 =
+                match t1 with Some tr -> tr.Fsm.t_dst | None -> s1
+              in
+              let d2 =
+                match t2 with Some tr -> tr.Fsm.t_dst | None -> s2
+              in
+              let actions =
+                (match t1 with Some tr -> tr.Fsm.t_actions | None -> [])
+                @ (match t2 with Some tr -> tr.Fsm.t_actions | None -> [])
+              in
+              transitions :=
+                {
+                  Fsm.t_src = pair_name (s1, s2);
+                  t_event = event;
+                  t_guard = None;
+                  t_actions = actions;
+                  t_dst = pair_name (d1, d2);
+                }
+                :: !transitions;
+              explore (d1, d2))
+        events)
+  in
+  let initial = (a.Fsm.initial, b.Fsm.initial) in
+  explore initial;
+  let states =
+    Hashtbl.fold (fun pair () acc -> pair :: acc) seen [] |> List.sort compare
+  in
+  let final_in (m : Fsm.t) s = m.Fsm.finals = [] || List.mem s m.Fsm.finals in
+  let finals =
+    if a.Fsm.finals = [] && b.Fsm.finals = [] then []
+    else
+      states
+      |> List.filter (fun (s1, s2) -> final_in a s1 && final_in b s2)
+      |> List.map pair_name
+  in
+  Fsm.make ~finals ~name ~initial:(pair_name initial)
+    ~states:(List.map pair_name states)
+    (List.rev !transitions)
+
+let product_list ?name = function
+  | [] -> invalid_arg "compose: empty machine list"
+  | first :: rest ->
+      let composed = List.fold_left (fun acc m -> product acc m) first rest in
+      (match name with
+      | Some n -> { composed with Fsm.fsm_name = n }
+      | None -> composed)

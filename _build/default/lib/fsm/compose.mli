@@ -1,0 +1,17 @@
+(** Synchronous parallel composition of flat FSMs.
+
+    Heterogeneous controllers are often specified as cooperating state
+    machines; the product machine lets the FSM branch of the flow emit
+    a single implementation.  Semantics follow {!Fsm.run}: on an event,
+    every component that handles it moves (emitting its actions, left
+    component first) and the others stay; an event no component handles
+    is dropped.  A product state is final when every component is in a
+    final state (or has none). *)
+
+val product : ?name:string -> Fsm.t -> Fsm.t -> Fsm.t
+(** Reachable product construction; states are named ["s1|s2"].
+    @raise Invalid_argument when either machine is non-deterministic or
+    uses guards (compose before adding guard labels). *)
+
+val product_list : ?name:string -> Fsm.t list -> Fsm.t
+(** Left fold of {!product}. @raise Invalid_argument on []. *)

@@ -1,0 +1,34 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string fsm =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph \"%s\" {\n  rankdir=LR;\n  node [shape=ellipse];\n" (escape fsm.Fsm.fsm_name);
+  out "  __start [shape=point];\n";
+  List.iter
+    (fun s ->
+      let shape = if List.mem s fsm.Fsm.finals then "doublecircle" else "ellipse" in
+      out "  \"%s\" [shape=%s];\n" (escape s) shape)
+    fsm.Fsm.states;
+  out "  __start -> \"%s\";\n" (escape fsm.Fsm.initial);
+  List.iter
+    (fun (tr : Fsm.transition) ->
+      let label =
+        tr.t_event
+        ^ (match tr.t_guard with Some g -> Printf.sprintf " [%s]" g | None -> "")
+        ^
+        match tr.t_actions with
+        | [] -> ""
+        | acts -> " / " ^ String.concat "; " acts
+      in
+      out "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape tr.t_src) (escape tr.t_dst)
+        (escape label))
+    fsm.Fsm.transitions;
+  out "}\n";
+  Buffer.contents buf
+
+let save fsm path =
+  let oc = open_out path in
+  output_string oc (to_string fsm);
+  close_out oc

@@ -1,0 +1,4 @@
+(** Graphviz export of flat FSMs, for documentation and debugging. *)
+
+val to_string : Fsm.t -> string
+val save : Fsm.t -> string -> unit

@@ -1,0 +1,268 @@
+module Sc = Umlfront_uml.Statechart
+
+type info = {
+  parent : (string, string) Hashtbl.t;
+  by_name : (string, Sc.state) Hashtbl.t;
+}
+
+let index chart =
+  let info = { parent = Hashtbl.create 16; by_name = Hashtbl.create 16 } in
+  let rec walk parent (s : Sc.state) =
+    if Hashtbl.mem info.by_name s.st_name then
+      invalid_arg (Printf.sprintf "flatten: duplicate state name %s" s.st_name);
+    Hashtbl.replace info.by_name s.st_name s;
+    (match parent with
+    | Some p -> Hashtbl.replace info.parent s.st_name p
+    | None -> ());
+    List.iter (walk (Some s.st_name)) s.st_children
+  in
+  List.iter (walk None) chart.Sc.sc_states;
+  info
+
+let state_exn info name =
+  match Hashtbl.find_opt info.by_name name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "flatten: unknown state %s" name)
+
+let is_leaf (s : Sc.state) =
+  s.st_children = [] && (s.st_kind = Sc.Simple || s.st_kind = Sc.Final)
+
+let rec leaves_under info name =
+  let s = state_exn info name in
+  if is_leaf s then [ name ]
+  else
+    s.st_children
+    |> List.filter (fun (c : Sc.state) -> c.st_kind <> Sc.Initial)
+    |> List.concat_map (fun (c : Sc.state) -> leaves_under info c.st_name)
+
+(* Default entry of a state: itself when a leaf, otherwise follow the
+   completion transition of its Initial child (or fall back to the first
+   leaf).  Returns the leaf name. *)
+let rec default_entry chart info name =
+  let s = state_exn info name in
+  if is_leaf s then name
+  else
+    let initial_child =
+      List.find_opt (fun (c : Sc.state) -> c.st_kind = Sc.Initial) s.st_children
+    in
+    let target =
+      match initial_child with
+      | Some init -> (
+          chart.Sc.sc_transitions
+          |> List.find_opt (fun (tr : Sc.transition) ->
+                 String.equal tr.tr_source init.st_name && tr.tr_trigger = None)
+          |> function
+          | Some tr -> Some tr.tr_target
+          | None -> None)
+      | None -> None
+    in
+    match target with
+    | Some t -> default_entry chart info t
+    | None -> (
+        match leaves_under info name with
+        | leaf :: _ -> leaf
+        | [] -> invalid_arg (Printf.sprintf "flatten: composite %s has no leaf" name))
+
+let ancestors info name =
+  (* Root-first: outermost ancestor down to the state itself. *)
+  let rec up acc n =
+    match Hashtbl.find_opt info.parent n with
+    | Some p -> up (p :: acc) p
+    | None -> acc
+  in
+  up [ name ] name
+
+let chain_actions info pick names =
+  List.filter_map (fun n -> pick (state_exn info n)) names
+
+(* Exit/effect/entry action list of a flattened transition from
+   [src_leaf] to [dst_leaf]. *)
+let transition_actions info (tr : Sc.transition) src_leaf dst_leaf =
+  let exited_down, entered_down =
+    if String.equal src_leaf dst_leaf then ([ src_leaf ], [ dst_leaf ])
+    else
+      let rec strip = function
+        | a :: arest, b :: brest when String.equal a b -> strip (arest, brest)
+        | pair -> pair
+      in
+      strip (ancestors info src_leaf, ancestors info dst_leaf)
+  in
+  let exits = chain_actions info (fun s -> s.Sc.st_exit) (List.rev exited_down) in
+  let entries = chain_actions info (fun s -> s.Sc.st_entry) entered_down in
+  exits @ Option.to_list tr.tr_effect @ entries
+
+(* ------------------------------------------------------------------ *)
+(* Shallow history: product flattening with a memory slot per history
+   composite.  A flat state is (leaf, memory); re-entering a history
+   composite resumes the remembered direct child. *)
+
+let direct_child_of info h leaf =
+  (* The element right after [h] on the root-first ancestor chain. *)
+  let rec scan = function
+    | a :: (b :: _ as rest) -> if String.equal a h then Some b else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan (ancestors info leaf)
+
+let under info h leaf =
+  List.mem h (ancestors info leaf) && not (String.equal h leaf)
+
+let resolve_with_memory chart info memory name =
+  let rec resolve name =
+    let s = state_exn info name in
+    if is_leaf s then name
+    else
+      match (s.Sc.st_history, List.assoc_opt s.Sc.st_name memory) with
+      | Sc.Deep, Some leaf -> leaf  (* the exact remembered configuration *)
+      | Sc.Shallow, Some child -> resolve child
+      | (Sc.Deep | Sc.Shallow | Sc.No_history), _ -> resolve_default s
+  and resolve_default (s : Sc.state) =
+    let initial_child =
+      List.find_opt (fun (c : Sc.state) -> c.st_kind = Sc.Initial) s.st_children
+    in
+    let target =
+      Option.bind initial_child (fun init ->
+          chart.Sc.sc_transitions
+          |> List.find_opt (fun (tr : Sc.transition) ->
+                 String.equal tr.tr_source init.Sc.st_name && tr.tr_trigger = None)
+          |> Option.map (fun (tr : Sc.transition) -> tr.tr_target))
+    in
+    match target with
+    | Some t -> resolve t
+    | None -> (
+        match leaves_under info s.st_name with
+        | leaf :: _ -> leaf
+        | [] -> invalid_arg (Printf.sprintf "flatten: composite %s has no leaf" s.st_name))
+  in
+  resolve name
+
+let run_with_history chart info history_composites initial_leaf =
+  let config_name (leaf, memory) =
+    leaf
+    ^ String.concat ""
+        (List.map
+           (fun h ->
+             Printf.sprintf "@%s=%s" h
+               (Option.value (List.assoc_opt h memory) ~default:"_"))
+           history_composites)
+  in
+  let update_memory memory src_leaf dst_leaf =
+    List.filter_map
+      (fun h ->
+        let remember leaf =
+          match (state_exn info h).Sc.st_history with
+          | Sc.Deep -> Some leaf
+          | Sc.Shallow -> direct_child_of info h leaf
+          | Sc.No_history -> None
+        in
+        let next =
+          if under info h dst_leaf then remember dst_leaf
+          else if under info h src_leaf then remember src_leaf
+          else List.assoc_opt h memory
+        in
+        Option.map (fun c -> (h, c)) next)
+      history_composites
+  in
+  let chart_transitions =
+    List.filter
+      (fun (tr : Sc.transition) ->
+        (state_exn info tr.Sc.tr_source).Sc.st_kind <> Sc.Initial)
+      chart.Sc.sc_transitions
+  in
+  let seen = Hashtbl.create 32 in
+  let flat_transitions = ref [] in
+  let rec explore ((leaf, memory) as config) =
+    if not (Hashtbl.mem seen (config_name config)) then (
+      Hashtbl.replace seen (config_name config) (leaf, memory);
+      List.iter
+        (fun (tr : Sc.transition) ->
+          if List.mem leaf (leaves_under info tr.Sc.tr_source) then (
+            let dst_leaf = resolve_with_memory chart info memory tr.Sc.tr_target in
+            let memory' = update_memory memory leaf dst_leaf in
+            let config' = (dst_leaf, memory') in
+            flat_transitions :=
+              {
+                Fsm.t_src = config_name config;
+                t_event = Option.value tr.Sc.tr_trigger ~default:"completion";
+                t_guard = tr.Sc.tr_guard;
+                t_actions = transition_actions info tr leaf dst_leaf;
+                t_dst = config_name config';
+              }
+              :: !flat_transitions;
+            explore config'))
+        chart_transitions)
+  in
+  let initial_config = (initial_leaf, []) in
+  explore initial_config;
+  let states =
+    Hashtbl.fold (fun name _ acc -> name :: acc) seen [] |> List.sort compare
+  in
+  let finals =
+    Hashtbl.fold
+      (fun name (leaf, _) acc ->
+        if (state_exn info leaf).Sc.st_kind = Sc.Final then name :: acc else acc)
+      seen []
+    |> List.sort compare
+  in
+  Fsm.make ~finals ~name:chart.Sc.sc_name
+    ~initial:(config_name initial_config)
+    ~states
+    (List.rev !flat_transitions)
+
+let run chart =
+  let info = index chart in
+  (* Initial leaf: completion transition from a top-level Initial state. *)
+  let top_initial =
+    List.find_opt (fun (s : Sc.state) -> s.st_kind = Sc.Initial) chart.Sc.sc_states
+  in
+  let initial_leaf =
+    match top_initial with
+    | Some init -> (
+        chart.Sc.sc_transitions
+        |> List.find_opt (fun (tr : Sc.transition) ->
+               String.equal tr.tr_source init.st_name && tr.tr_trigger = None)
+        |> function
+        | Some tr -> default_entry chart info tr.tr_target
+        | None -> invalid_arg "flatten: initial pseudo-state has no outgoing transition")
+    | None -> (
+        match chart.Sc.sc_states with
+        | first :: _ -> default_entry chart info first.st_name
+        | [] -> invalid_arg "flatten: empty statechart")
+  in
+  let leaf_states =
+    Hashtbl.fold
+      (fun name s acc -> if is_leaf s then name :: acc else acc)
+      info.by_name []
+    |> List.sort compare
+  in
+  let finals =
+    List.filter (fun n -> (state_exn info n).Sc.st_kind = Sc.Final) leaf_states
+  in
+  let flatten_transition (tr : Sc.transition) =
+    let src_state = state_exn info tr.tr_source in
+    if src_state.st_kind = Sc.Initial then []
+    else
+      let event = Option.value tr.tr_trigger ~default:"completion" in
+      let dst_leaf = default_entry chart info tr.tr_target in
+      leaves_under info tr.tr_source
+      |> List.map (fun src_leaf ->
+             {
+               Fsm.t_src = src_leaf;
+               t_event = event;
+               t_guard = tr.tr_guard;
+               t_actions = transition_actions info tr src_leaf dst_leaf;
+               t_dst = dst_leaf;
+             })
+  in
+  let history_composites =
+    Hashtbl.fold
+      (fun name s acc -> if s.Sc.st_history <> Sc.No_history then name :: acc else acc)
+      info.by_name []
+    |> List.sort compare
+  in
+  if history_composites <> [] then
+    run_with_history chart info history_composites initial_leaf
+  else
+    let transitions = List.concat_map flatten_transition chart.Sc.sc_transitions in
+    Fsm.make ~finals ~name:chart.Sc.sc_name ~initial:initial_leaf ~states:leaf_states
+      transitions

@@ -1,0 +1,24 @@
+(** Statechart flattening: turns a hierarchical UML state machine into
+    a flat {!Fsm.t} (the model-to-model mapping of the control-flow
+    branch in Fig. 1/2 of the paper).
+
+    Semantics implemented:
+    - leaf states of the hierarchy become FSM states;
+    - a transition targeting a composite state is redirected to the
+      composite's default entry (the target of the completion
+      transition leaving its [Initial] child, or its first leaf);
+    - a transition leaving a composite state is replicated from every
+      leaf inside it;
+    - firing a flattened transition emits, in order: the exit actions
+      of the states being left (innermost first), the transition
+      effect, then the entry actions of the states being entered
+      (outermost first);
+    - composites marked with {e shallow history}
+      ([Statechart.state ~history:true]) resume their last active
+      direct child on re-entry: the flattening becomes a product of
+      leaves and history memories, explored from the initial
+      configuration (states are named ["leaf\@composite=child"]). *)
+
+val run : Umlfront_uml.Statechart.t -> Fsm.t
+(** @raise Invalid_argument when the chart has no resolvable initial
+    leaf state or names an undeclared state in a transition. *)

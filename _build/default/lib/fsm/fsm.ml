@@ -1,0 +1,125 @@
+type transition = {
+  t_src : string;
+  t_event : string;
+  t_guard : string option;
+  t_actions : string list;
+  t_dst : string;
+}
+
+type t = {
+  fsm_name : string;
+  states : string list;
+  initial : string;
+  finals : string list;
+  transitions : transition list;
+}
+
+let make ?(finals = []) ~name ~initial ~states transitions =
+  let known s = List.mem s states in
+  if not (known initial) then
+    invalid_arg (Printf.sprintf "fsm %s: initial state %s not declared" name initial);
+  List.iter
+    (fun s ->
+      if not (known s) then
+        invalid_arg (Printf.sprintf "fsm %s: final state %s not declared" name s))
+    finals;
+  List.iter
+    (fun tr ->
+      if not (known tr.t_src && known tr.t_dst) then
+        invalid_arg
+          (Printf.sprintf "fsm %s: transition %s->%s uses undeclared state" name tr.t_src
+             tr.t_dst))
+    transitions;
+  { fsm_name = name; states; initial; finals; transitions }
+
+let events t =
+  t.transitions |> List.map (fun tr -> tr.t_event) |> List.sort_uniq compare
+
+let transitions_from t state =
+  List.filter (fun tr -> String.equal tr.t_src state) t.transitions
+
+let is_deterministic t =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun tr ->
+      match tr.t_guard with
+      | Some _ -> true
+      | None ->
+          let key = (tr.t_src, tr.t_event) in
+          if Hashtbl.mem seen key then false
+          else (
+            Hashtbl.replace seen key ();
+            true))
+    t.transitions
+
+let reachable_states t =
+  let seen = Hashtbl.create 16 in
+  let rec visit s =
+    if not (Hashtbl.mem seen s) then (
+      Hashtbl.replace seen s ();
+      List.iter (fun tr -> visit tr.t_dst) (transitions_from t s))
+  in
+  visit t.initial;
+  List.filter (Hashtbl.mem seen) t.states
+
+let prune_unreachable t =
+  let keep = reachable_states t in
+  {
+    t with
+    states = keep;
+    finals = List.filter (fun s -> List.mem s keep) t.finals;
+    transitions = List.filter (fun tr -> List.mem tr.t_src keep) t.transitions;
+  }
+
+type step = { before : string; event : string; after : string; actions : string list }
+
+let step ?(guard_eval = fun _ -> true) t ~state ~event =
+  let candidate =
+    List.find_opt
+      (fun tr ->
+        String.equal tr.t_src state
+        && String.equal tr.t_event event
+        && match tr.t_guard with Some g -> guard_eval g | None -> true)
+      t.transitions
+  in
+  Option.map
+    (fun tr -> { before = state; event; after = tr.t_dst; actions = tr.t_actions })
+    candidate
+
+let run ?guard_eval t trace =
+  let _, steps =
+    List.fold_left
+      (fun (state, acc) event ->
+        match step ?guard_eval t ~state ~event with
+        | Some s -> (s.after, s :: acc)
+        | None -> (state, acc))
+      (t.initial, []) trace
+  in
+  List.rev steps
+
+let final_state ?guard_eval t trace =
+  match List.rev (run ?guard_eval t trace) with
+  | [] -> t.initial
+  | last :: _ -> last.after
+
+let simulate_equal a b traces =
+  let actions m trace = List.concat_map (fun s -> s.actions) (run m trace) in
+  let accepts m trace = List.mem (final_state m trace) m.finals in
+  List.for_all
+    (fun trace ->
+      actions a trace = actions b trace
+      && (a.finals = [] && b.finals = [] || accepts a trace = accepts b trace))
+    traces
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>fsm %s (initial %s)" t.fsm_name t.initial;
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "@,  %s --%s%s--> %s%s" tr.t_src tr.t_event
+        (match tr.t_guard with Some g -> "[" ^ g ^ "]" | None -> "")
+        tr.t_dst
+        (match tr.t_actions with
+        | [] -> ""
+        | acts -> " / " ^ String.concat "; " acts))
+    t.transitions;
+  Format.fprintf ppf "@]"

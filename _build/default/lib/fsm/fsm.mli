@@ -1,0 +1,70 @@
+(** Flat finite-state machines: the target of the control-flow branch
+    of the design flow (UML state diagram → FSM → code generator).
+
+    Transitions fire on named events, may carry an opaque guard label
+    (evaluated by a caller-supplied predicate) and emit a list of
+    action labels. *)
+
+type transition = {
+  t_src : string;
+  t_event : string;
+  t_guard : string option;
+  t_actions : string list;
+  t_dst : string;
+}
+
+type t = {
+  fsm_name : string;
+  states : string list;
+  initial : string;
+  finals : string list;
+  transitions : transition list;
+}
+
+val make :
+  ?finals:string list ->
+  name:string ->
+  initial:string ->
+  states:string list ->
+  transition list ->
+  t
+(** @raise Invalid_argument when the initial state, a final state or a
+    transition endpoint is not declared. *)
+
+val events : t -> string list
+(** Distinct event names, sorted. *)
+
+val transitions_from : t -> string -> transition list
+
+val is_deterministic : t -> bool
+(** No two unguarded transitions leave the same state on the same
+    event. *)
+
+val reachable_states : t -> string list
+(** States reachable from the initial state (including it). *)
+
+val prune_unreachable : t -> t
+
+(** {1 Execution} *)
+
+type step = { before : string; event : string; after : string; actions : string list }
+
+val step :
+  ?guard_eval:(string -> bool) -> t -> state:string -> event:string -> step option
+(** First matching transition wins; [None] when no transition handles
+    the event (event dropped, state unchanged by convention of the
+    caller).  Default [guard_eval] accepts every guard. *)
+
+val run : ?guard_eval:(string -> bool) -> t -> string list -> step list
+(** Feed an event trace from the initial state; unhandled events are
+    skipped. *)
+
+val final_state : ?guard_eval:(string -> bool) -> t -> string list -> string
+
+(** {1 Equivalence} *)
+
+val simulate_equal : t -> t -> string list list -> bool
+(** The two machines produce identical action traces on every given
+    event trace (guards all taken). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+let signature fsm classes state =
+  (* For each (event, guard): (actions, class index of destination). *)
+  Fsm.transitions_from fsm state
+  |> List.map (fun (tr : Fsm.transition) ->
+         let cls =
+           let rec find i = function
+             | [] -> -1
+             | c :: rest -> if List.mem tr.t_dst c then i else find (i + 1) rest
+           in
+           find 0 classes
+         in
+         ((tr.t_event, tr.t_guard), (tr.t_actions, cls)))
+  |> List.sort compare
+
+let refine fsm classes =
+  List.concat_map
+    (fun cls ->
+      let keyed = List.map (fun s -> (signature fsm classes s, s)) cls in
+      let grouped = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun (key, s) ->
+          (match Hashtbl.find_opt grouped key with
+          | Some states -> Hashtbl.replace grouped key (s :: states)
+          | None ->
+              Hashtbl.replace grouped key [ s ];
+              order := key :: !order))
+        keyed;
+      List.rev_map (fun key -> List.rev (Hashtbl.find grouped key)) !order)
+    classes
+
+let equivalent_classes fsm =
+  let fsm = Fsm.prune_unreachable fsm in
+  let finals, non_finals =
+    List.partition (fun s -> List.mem s fsm.Fsm.finals) fsm.Fsm.states
+  in
+  let initial_partition = List.filter (fun c -> c <> []) [ non_finals; finals ] in
+  let rec fixpoint classes =
+    let refined = refine fsm classes in
+    if List.length refined = List.length classes then classes else fixpoint refined
+  in
+  fixpoint initial_partition |> List.map (List.sort compare)
+
+let run fsm =
+  let fsm = Fsm.prune_unreachable fsm in
+  let classes = equivalent_classes fsm in
+  let representative state =
+    match List.find_opt (List.mem state) classes with
+    | Some (rep :: _) -> rep
+    | Some [] | None -> state
+  in
+  let states = List.sort_uniq compare (List.map representative fsm.Fsm.states) in
+  let transitions =
+    fsm.Fsm.transitions
+    |> List.map (fun (tr : Fsm.transition) ->
+           { tr with Fsm.t_src = representative tr.t_src; t_dst = representative tr.t_dst })
+    |> List.sort_uniq compare
+  in
+  let finals =
+    List.sort_uniq compare (List.map representative fsm.Fsm.finals)
+  in
+  Fsm.make ~finals ~name:fsm.Fsm.fsm_name
+    ~initial:(representative fsm.Fsm.initial)
+    ~states transitions

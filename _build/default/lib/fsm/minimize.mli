@@ -1,0 +1,16 @@
+(** FSM state minimization by partition refinement (Moore's algorithm
+    adapted to transition-emitted actions): two states are equivalent
+    when, for every event, they emit the same actions and move to
+    equivalent states, and they agree on finality.
+
+    Guarded transitions are treated as distinct alphabet symbols
+    (event, guard), which is sound but may miss merges a guard-aware
+    analysis would find. *)
+
+val run : Fsm.t -> Fsm.t
+(** Unreachable states are pruned first.  Merged states are renamed to
+    the lexicographically-least member of their class, so the result is
+    deterministic. *)
+
+val equivalent_classes : Fsm.t -> string list list
+(** The partition of (reachable) states the minimization finds. *)

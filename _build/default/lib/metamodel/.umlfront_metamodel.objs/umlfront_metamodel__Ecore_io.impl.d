@@ -1,0 +1,1 @@
+lib/metamodel/ecore_io.ml: List Meta Mmodel Printf String Umlfront_xml

@@ -1,0 +1,1 @@
+lib/metamodel/ecore_io.mli: Meta Mmodel Umlfront_xml

@@ -1,0 +1,1 @@
+lib/metamodel/meta.ml: Fmt Hashtbl List Printf String

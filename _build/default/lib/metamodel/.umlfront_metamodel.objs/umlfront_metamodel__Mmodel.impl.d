@@ -1,0 +1,1 @@
+lib/metamodel/mmodel.ml: Fmt Hashtbl List Meta Printf String

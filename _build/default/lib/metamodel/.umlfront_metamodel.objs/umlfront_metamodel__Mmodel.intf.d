@@ -1,0 +1,1 @@
+lib/metamodel/mmodel.mli: Format Meta

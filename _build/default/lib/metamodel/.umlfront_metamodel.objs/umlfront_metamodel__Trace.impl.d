@@ -1,0 +1,1 @@
+lib/metamodel/trace.ml: Fmt List String

@@ -1,0 +1,131 @@
+type attr_type = T_string | T_int | T_float | T_bool | T_enum of string list
+
+type attribute = {
+  attr_name : string;
+  attr_type : attr_type;
+  attr_required : bool;
+}
+
+type reference = {
+  ref_name : string;
+  ref_target : string;
+  ref_containment : bool;
+  ref_many : bool;
+}
+
+type metaclass = {
+  class_name : string;
+  class_super : string option;
+  class_abstract : bool;
+  class_attributes : attribute list;
+  class_references : reference list;
+}
+
+type t = { mm_name : string; mm_classes : metaclass list }
+
+let attribute ?(required = false) attr_name attr_type =
+  { attr_name; attr_type; attr_required = required }
+
+let reference ?(containment = false) ?(many = false) ref_name ref_target =
+  { ref_name; ref_target; ref_containment = containment; ref_many = many }
+
+let metaclass ?super ?(abstract = false) ?(attributes = []) ?(references = [])
+    class_name =
+  {
+    class_name;
+    class_super = super;
+    class_abstract = abstract;
+    class_attributes = attributes;
+    class_references = references;
+  }
+
+let find_class mm name =
+  List.find_opt (fun c -> String.equal c.class_name name) mm.mm_classes
+
+let find_class_exn mm name =
+  match find_class mm name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "metamodel %s: unknown class %s" mm.mm_name name)
+
+let create ~name classes =
+  let mm = { mm_name = name; mm_classes = classes } in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.class_name then
+        invalid_arg (Printf.sprintf "metamodel %s: duplicate class %s" name c.class_name);
+      Hashtbl.add seen c.class_name ())
+    classes;
+  List.iter
+    (fun c ->
+      (match c.class_super with
+      | Some s when find_class mm s = None ->
+          invalid_arg (Printf.sprintf "metamodel %s: %s extends unknown class %s" name c.class_name s)
+      | Some _ | None -> ());
+      List.iter
+        (fun r ->
+          if find_class mm r.ref_target = None then
+            invalid_arg
+              (Printf.sprintf "metamodel %s: %s.%s targets unknown class %s" name
+                 c.class_name r.ref_name r.ref_target))
+        c.class_references)
+    classes;
+  mm
+
+let rec is_subclass_of mm ~sub ~super =
+  String.equal sub super
+  ||
+  match find_class mm sub with
+  | Some { class_super = Some s; _ } -> is_subclass_of mm ~sub:s ~super
+  | Some { class_super = None; _ } | None -> false
+
+let rec ancestry mm name =
+  match find_class mm name with
+  | None -> []
+  | Some c -> (
+      match c.class_super with
+      | None -> [ c ]
+      | Some s -> ancestry mm s @ [ c ])
+
+let all_attributes mm name =
+  List.concat_map (fun c -> c.class_attributes) (ancestry mm name)
+
+let all_references mm name =
+  List.concat_map (fun c -> c.class_references) (ancestry mm name)
+
+let find_attribute mm ~cls name =
+  List.find_opt (fun a -> String.equal a.attr_name name) (all_attributes mm cls)
+
+let find_reference mm ~cls name =
+  List.find_opt (fun r -> String.equal r.ref_name name) (all_references mm cls)
+
+let concrete_classes mm =
+  mm.mm_classes
+  |> List.filter (fun c -> not c.class_abstract)
+  |> List.map (fun c -> c.class_name)
+
+let pp_attr_type ppf = function
+  | T_string -> Fmt.string ppf "string"
+  | T_int -> Fmt.string ppf "int"
+  | T_float -> Fmt.string ppf "float"
+  | T_bool -> Fmt.string ppf "bool"
+  | T_enum lits -> Fmt.pf ppf "enum{%a}" Fmt.(list ~sep:(any "|") string) lits
+
+let pp ppf mm =
+  Fmt.pf ppf "@[<v>metamodel %s@," mm.mm_name;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  class %s%s%s@," c.class_name
+        (match c.class_super with Some s -> " extends " ^ s | None -> "")
+        (if c.class_abstract then " (abstract)" else "");
+      List.iter
+        (fun a -> Fmt.pf ppf "    attr %s : %a@," a.attr_name pp_attr_type a.attr_type)
+        c.class_attributes;
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "    ref %s : %s%s%s@," r.ref_name r.ref_target
+            (if r.ref_many then " [*]" else "")
+            (if r.ref_containment then " (containment)" else ""))
+        c.class_references)
+    mm.mm_classes;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,71 @@
+(** Metamodel descriptions, in the spirit of (a small subset of) EMF
+    Ecore.
+
+    A metamodel declares metaclasses; each metaclass declares typed
+    attributes and references.  References are either {e containment}
+    (the target lives inside the source, forming a forest) or plain
+    cross-references.  Dynamic instances of a metamodel are built with
+    {!Mmodel}. *)
+
+type attr_type =
+  | T_string
+  | T_int
+  | T_float
+  | T_bool
+  | T_enum of string list  (** allowed literals *)
+
+type attribute = {
+  attr_name : string;
+  attr_type : attr_type;
+  attr_required : bool;
+}
+
+type reference = {
+  ref_name : string;
+  ref_target : string;  (** metaclass name *)
+  ref_containment : bool;
+  ref_many : bool;
+}
+
+type metaclass = {
+  class_name : string;
+  class_super : string option;
+  class_abstract : bool;
+  class_attributes : attribute list;
+  class_references : reference list;
+}
+
+type t = { mm_name : string; mm_classes : metaclass list }
+
+val attribute : ?required:bool -> string -> attr_type -> attribute
+val reference : ?containment:bool -> ?many:bool -> string -> string -> reference
+
+val metaclass :
+  ?super:string ->
+  ?abstract:bool ->
+  ?attributes:attribute list ->
+  ?references:reference list ->
+  string ->
+  metaclass
+
+val create : name:string -> metaclass list -> t
+(** @raise Invalid_argument on duplicate class names or a dangling
+    super/reference target. *)
+
+val find_class : t -> string -> metaclass option
+val find_class_exn : t -> string -> metaclass
+
+val is_subclass_of : t -> sub:string -> super:string -> bool
+(** Reflexive-transitive subclass check. *)
+
+val all_attributes : t -> string -> attribute list
+(** Attributes including inherited ones, supers first. *)
+
+val all_references : t -> string -> reference list
+
+val find_attribute : t -> cls:string -> string -> attribute option
+val find_reference : t -> cls:string -> string -> reference option
+
+val concrete_classes : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simulink/block.ml: Format Printf

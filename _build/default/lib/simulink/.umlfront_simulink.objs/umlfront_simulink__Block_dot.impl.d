@@ -1,0 +1,1 @@
+lib/simulink/block_dot.ml: Block Buffer List Model Option Printf String System

@@ -1,0 +1,1 @@
+lib/simulink/block_dot.mli: Model

@@ -1,0 +1,1 @@
+lib/simulink/caam.ml: Block List Model Printf String System

@@ -1,0 +1,1 @@
+lib/simulink/caam.mli: Model System

@@ -1,0 +1,1 @@
+lib/simulink/layout.ml: Block Hashtbl List Model Option Printf Scanf String System

@@ -1,0 +1,1 @@
+lib/simulink/layout.mli: Model System

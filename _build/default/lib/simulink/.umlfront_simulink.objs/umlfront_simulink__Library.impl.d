@@ -1,0 +1,1 @@
+lib/simulink/library.ml: Block List String

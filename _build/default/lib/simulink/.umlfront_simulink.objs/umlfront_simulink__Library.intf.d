@@ -1,0 +1,1 @@
+lib/simulink/library.mli: Block

@@ -1,0 +1,1 @@
+lib/simulink/mdl_parser.ml: Block Buffer List Model Option Printf String System

@@ -1,0 +1,1 @@
+lib/simulink/mdl_parser.mli: Model

@@ -1,0 +1,1 @@
+lib/simulink/mdl_writer.ml: Block Buffer List Model Printf String System

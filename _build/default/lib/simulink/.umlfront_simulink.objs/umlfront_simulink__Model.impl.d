@@ -1,0 +1,1 @@
+lib/simulink/model.ml: Block Format List System

@@ -1,0 +1,1 @@
+lib/simulink/model.mli: Format System

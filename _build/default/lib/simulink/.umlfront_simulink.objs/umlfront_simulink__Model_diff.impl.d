@@ -1,0 +1,1 @@
+lib/simulink/model_diff.ml: Block Format List Model String System

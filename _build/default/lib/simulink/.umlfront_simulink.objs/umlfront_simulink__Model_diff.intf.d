@@ -1,0 +1,1 @@
+lib/simulink/model_diff.mli: Block Format Model System

@@ -1,0 +1,1 @@
+lib/simulink/system.ml: Block Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/simulink/system.mli: Block Format

@@ -1,0 +1,95 @@
+type t =
+  | Inport
+  | Outport
+  | Subsystem
+  | S_function
+  | Product
+  | Sum
+  | Gain
+  | Constant
+  | Unit_delay
+  | Mux
+  | Demux
+  | Saturation
+  | Abs
+  | Sqrt
+  | Trig
+  | Min_max
+  | Math
+  | Switch
+  | Terminator
+  | Ground
+  | Channel
+
+type param = P_string of string | P_int of int | P_float of float | P_bool of bool
+
+let to_string = function
+  | Inport -> "Inport"
+  | Outport -> "Outport"
+  | Subsystem -> "SubSystem"
+  | S_function -> "S-Function"
+  | Product -> "Product"
+  | Sum -> "Sum"
+  | Gain -> "Gain"
+  | Constant -> "Constant"
+  | Unit_delay -> "UnitDelay"
+  | Mux -> "Mux"
+  | Demux -> "Demux"
+  | Saturation -> "Saturate"
+  | Abs -> "Abs"
+  | Sqrt -> "Sqrt"
+  | Trig -> "Trigonometry"
+  | Min_max -> "MinMax"
+  | Math -> "Math"
+  | Switch -> "Switch"
+  | Terminator -> "Terminator"
+  | Ground -> "Ground"
+  | Channel -> "Channel"
+
+let of_string = function
+  | "Inport" -> Inport
+  | "Outport" -> Outport
+  | "SubSystem" -> Subsystem
+  | "S-Function" -> S_function
+  | "Product" -> Product
+  | "Sum" -> Sum
+  | "Gain" -> Gain
+  | "Constant" -> Constant
+  | "UnitDelay" -> Unit_delay
+  | "Mux" -> Mux
+  | "Demux" -> Demux
+  | "Saturate" -> Saturation
+  | "Abs" -> Abs
+  | "Sqrt" -> Sqrt
+  | "Trigonometry" -> Trig
+  | "MinMax" -> Min_max
+  | "Math" -> Math
+  | "Switch" -> Switch
+  | "Terminator" -> Terminator
+  | "Ground" -> Ground
+  | "Channel" -> Channel
+  | s -> invalid_arg (Printf.sprintf "Block.of_string: unknown BlockType %S" s)
+
+let default_ports = function
+  | Inport -> (0, 1)
+  | Outport -> (1, 0)
+  | Subsystem -> (0, 0)
+  | S_function -> (1, 1)
+  | Product | Sum -> (2, 1)
+  | Gain | Unit_delay | Saturation | Abs | Sqrt | Trig | Math -> (1, 1)
+  | Min_max -> (2, 1)
+  | Constant | Ground -> (0, 1)
+  | Mux -> (2, 1)
+  | Demux -> (1, 2)
+  | Switch -> (3, 1)
+  | Terminator -> (1, 0)
+  | Channel -> (1, 1)
+
+let param_to_string = function
+  | P_string s -> s
+  | P_int i -> string_of_int i
+  | P_float f -> Printf.sprintf "%.17g" f
+  | P_bool b -> if b then "on" else "off"
+
+let pp_param ppf p = Format.pp_print_string ppf (param_to_string p)
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,45 @@
+(** Simulink block types and parameters.
+
+    [Channel] is the CAAM communication-unit block: its [Protocol]
+    parameter carries the protocol the paper's channel inference picks
+    ([SWFIFO] for intra-CPU, [GFIFO] for inter-CPU, §4.2.1). *)
+
+type t =
+  | Inport
+  | Outport
+  | Subsystem
+  | S_function  (** user-defined behaviour, [FunctionName] parameter *)
+  | Product
+  | Sum
+  | Gain
+  | Constant
+  | Unit_delay  (** the temporal barrier of §4.2.2 *)
+  | Mux
+  | Demux
+  | Saturation
+  | Abs
+  | Sqrt
+  | Trig  (** [Function] parameter: sin, cos or tan *)
+  | Min_max  (** [Function] parameter: min or max *)
+  | Math  (** [Function] parameter: exp or log *)
+  | Switch
+  | Terminator
+  | Ground
+  | Channel  (** CAAM communication unit; [Protocol] parameter *)
+
+type param = P_string of string | P_int of int | P_float of float | P_bool of bool
+
+val to_string : t -> string
+(** The Simulink [BlockType] name, e.g. ["UnitDelay"]. *)
+
+val of_string : string -> t
+
+val default_ports : t -> int * int
+(** (inputs, outputs) a fresh block of this type exposes; [Subsystem]
+    ports are instead derived from its [Inport]/[Outport] children, and
+    blocks accepting an [Inputs] parameter (Product, Sum, Mux, ...) can
+    be widened. *)
+
+val param_to_string : param -> string
+val pp_param : Format.formatter -> param -> unit
+val pp : Format.formatter -> t -> unit

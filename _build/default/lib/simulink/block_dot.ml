@@ -1,0 +1,67 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_id path name = escape (String.concat "__" (path @ [ name ]))
+
+let shape (b : System.block) =
+  match b.System.blk_type with
+  | Block.Inport | Block.Outport -> "cds"
+  | Block.Unit_delay -> "square"
+  | Block.Channel -> "parallelogram"
+  | _ -> "box"
+
+let of_model (m : Model.t) =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph \"%s\" {\n  rankdir=LR;\n  compound=true;\n  node [fontsize=10];\n"
+    (escape m.Model.model_name);
+  let cluster_counter = ref 0 in
+  let rec walk path sys =
+    List.iter
+      (fun (b : System.block) ->
+        match b.System.blk_system with
+        | Some inner ->
+            incr cluster_counter;
+            out "  subgraph cluster_%d {\n    label=\"%s\";\n    style=rounded;\n"
+              !cluster_counter (escape b.System.blk_name);
+            walk (path @ [ b.System.blk_name ]) inner;
+            out "  }\n"
+        | None ->
+            out "  %s [label=\"%s\\n%s\" shape=%s];\n"
+              (node_id path b.System.blk_name)
+              (escape b.System.blk_name)
+              (Block.to_string b.System.blk_type)
+              (shape b))
+      (System.blocks sys);
+    (* Lines: endpoints on subsystem blocks attach to their boundary
+       port blocks so edges stay between concrete nodes. *)
+    let resolve (p : System.port_ref) boundary =
+      match (System.find_block_exn sys p.System.block).System.blk_system with
+      | Some inner ->
+          let port_block = boundary inner p.System.port in
+          node_id (path @ [ p.System.block ]) port_block
+      | None -> node_id path p.System.block
+    in
+    let in_boundary inner port =
+      System.blocks_of_type inner Block.Inport
+      |> List.find_opt (fun b -> System.inport_index b = port)
+      |> Option.fold ~none:"?" ~some:(fun b -> b.System.blk_name)
+    in
+    let out_boundary inner port =
+      System.blocks_of_type inner Block.Outport
+      |> List.find_opt (fun b -> System.inport_index b = port)
+      |> Option.fold ~none:"?" ~some:(fun b -> b.System.blk_name)
+    in
+    List.iter
+      (fun (l : System.line) ->
+        out "  %s -> %s;\n" (resolve l.System.src out_boundary)
+          (resolve l.System.dst in_boundary))
+      (System.lines sys)
+  in
+  walk [] m.Model.root;
+  out "}\n";
+  Buffer.contents buf
+
+let save m ~path =
+  let oc = open_out path in
+  output_string oc (of_model m);
+  close_out oc

@@ -1,0 +1,6 @@
+(** Graphviz export of a (CAAM) block diagram: one Graphviz cluster per
+    subsystem, blocks as record nodes, lines as edges — a quick visual
+    of the generated hierarchy without Simulink. *)
+
+val of_model : Model.t -> string
+val save : Model.t -> path:string -> unit

@@ -1,0 +1,104 @@
+type role = Cpu | Thread | Comm
+
+let role_param = "CAAMRole"
+let protocol_param = "Protocol"
+
+let role_to_string = function Cpu -> "cpu" | Thread -> "thread" | Comm -> "comm"
+
+let role_of_block b =
+  match System.param_string b role_param with
+  | Some "cpu" -> Some Cpu
+  | Some "thread" -> Some Thread
+  | Some "comm" -> Some Comm
+  | Some _ | None -> None
+
+let mark sys name role =
+  System.set_param sys name role_param (Block.P_string (role_to_string role))
+
+let cpus (m : Model.t) =
+  System.blocks m.Model.root |> List.filter (fun b -> role_of_block b = Some Cpu)
+
+let threads_of_cpu (b : System.block) =
+  match b.System.blk_system with
+  | Some sys -> System.blocks sys |> List.filter (fun b -> role_of_block b = Some Thread)
+  | None -> []
+
+let channels (m : Model.t) =
+  let acc = ref [] in
+  System.iter_systems
+    (fun path sys ->
+      List.iter
+        (fun b ->
+          if b.System.blk_type = Block.Channel then acc := (path, b) :: !acc)
+        (System.blocks sys))
+    m.Model.root;
+  List.rev !acc
+
+let protocol b = System.param_string b protocol_param
+
+type channel_class = Inter_cpu | Intra_cpu
+
+let classify_channel ~path = match path with [] -> Inter_cpu | _ :: _ -> Intra_cpu
+
+let thread_names (m : Model.t) =
+  cpus m
+  |> List.concat_map (fun cpu ->
+         threads_of_cpu cpu
+         |> List.map (fun t -> (t.System.blk_name, cpu.System.blk_name)))
+
+let check (m : Model.t) =
+  let gripes = ref [] in
+  let blame fmt = Printf.ksprintf (fun s -> gripes := s :: !gripes) fmt in
+  (* Top level: subsystems must be CPU-SS. *)
+  List.iter
+    (fun (b : System.block) ->
+      match (b.System.blk_type, role_of_block b) with
+      | Block.Subsystem, Some Cpu -> ()
+      | Block.Subsystem, _ -> blame "top-level subsystem %s lacks the cpu role" b.System.blk_name
+      | _, _ -> ())
+    (System.blocks m.Model.root);
+  (* CPU-SS children that are subsystems must be Thread-SS. *)
+  List.iter
+    (fun cpu ->
+      match cpu.System.blk_system with
+      | None -> blame "CPU-SS %s has no nested system" cpu.System.blk_name
+      | Some sys ->
+          List.iter
+            (fun (b : System.block) ->
+              match (b.System.blk_type, role_of_block b) with
+              | Block.Subsystem, Some Thread -> ()
+              | Block.Subsystem, _ ->
+                  blame "subsystem %s inside CPU-SS %s lacks the thread role"
+                    b.System.blk_name cpu.System.blk_name
+              | _, _ -> ())
+            (System.blocks sys))
+    (cpus m);
+  (* Channel protocols match their position. *)
+  List.iter
+    (fun (path, (b : System.block)) ->
+      let expected =
+        match classify_channel ~path with Inter_cpu -> "GFIFO" | Intra_cpu -> "SWFIFO"
+      in
+      match protocol b with
+      | Some p when String.equal p expected -> ()
+      | Some p ->
+          blame "channel %s at %s has protocol %s, expected %s" b.System.blk_name
+            (String.concat "/" ("top" :: path))
+            p expected
+      | None -> blame "channel %s has no protocol" b.System.blk_name)
+    (channels m);
+  (* Channels are point-to-point. *)
+  System.iter_systems
+    (fun _path sys ->
+      List.iter
+        (fun (b : System.block) ->
+          if b.System.blk_type = Block.Channel then (
+            let inbound = List.length (System.drivers sys b.System.blk_name) in
+            let outbound = List.length (System.consumers sys b.System.blk_name 1) in
+            if inbound <> 1 then
+              blame "channel %s has %d producers" b.System.blk_name inbound;
+            if outbound <> 1 then
+              blame "channel %s has %d consumers" b.System.blk_name outbound))
+        (System.blocks sys))
+    m.Model.root;
+  List.rev !gripes

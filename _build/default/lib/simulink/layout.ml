@@ -1,0 +1,93 @@
+let position_param = "Position"
+
+let block_size (b : System.block) =
+  match b.System.blk_type with
+  | Block.Inport | Block.Outport -> (30, 14)
+  | Block.Subsystem -> (140, 60)
+  | Block.Channel -> (80, 30)
+  | _ -> (60, 40)
+
+(* Longest-path layering, DFS back edges ignored. *)
+let layers sys =
+  let names = List.map (fun (b : System.block) -> b.System.blk_name) (System.blocks sys) in
+  let succs name =
+    System.lines sys
+    |> List.filter_map (fun (l : System.line) ->
+           if String.equal l.System.src.System.block name then
+             Some l.System.dst.System.block
+           else None)
+  in
+  let state = Hashtbl.create 16 in
+  let back = Hashtbl.create 4 in
+  let rec dfs n =
+    match Hashtbl.find_opt state n with
+    | Some `Done | Some `Active -> ()
+    | None ->
+        Hashtbl.replace state n `Active;
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt state s with
+            | Some `Active -> Hashtbl.replace back (n, s) ()
+            | Some `Done | None -> dfs s)
+          (succs n);
+        Hashtbl.replace state n `Done
+  in
+  List.iter dfs names;
+  let rank = Hashtbl.create 16 in
+  let rec compute n =
+    match Hashtbl.find_opt rank n with
+    | Some r -> r
+    | None ->
+        Hashtbl.replace rank n 0;
+        let preds =
+          System.lines sys
+          |> List.filter_map (fun (l : System.line) ->
+                 if
+                   String.equal l.System.dst.System.block n
+                   && not (Hashtbl.mem back (l.System.src.System.block, n))
+                 then Some l.System.src.System.block
+                 else None)
+        in
+        let r = List.fold_left (fun acc p -> max acc (compute p + 1)) 0 preds in
+        Hashtbl.replace rank n r;
+        r
+  in
+  List.iter (fun n -> ignore (compute n)) names;
+  fun name -> Option.value (Hashtbl.find_opt rank name) ~default:0
+
+let place sys =
+  let rank_of = layers sys in
+  let occupancy = Hashtbl.create 8 in
+  let positioned =
+    List.map
+      (fun (b : System.block) ->
+        let rank = rank_of b.System.blk_name in
+        let slot = Option.value (Hashtbl.find_opt occupancy rank) ~default:0 in
+        Hashtbl.replace occupancy rank (slot + 1);
+        let width, height = block_size b in
+        let left = 40 + (rank * 190) in
+        let top = 40 + (slot * 90) in
+        let value =
+          Block.P_string (Printf.sprintf "[%d, %d, %d, %d]" left top (left + width) (top + height))
+        in
+        {
+          b with
+          System.blk_params =
+            (position_param, value) :: List.remove_assoc position_param b.System.blk_params;
+        })
+      (System.blocks sys)
+  in
+  { sys with System.sys_blocks = positioned }
+
+let run (m : Model.t) =
+  let root = System.map_systems (fun _path sys -> place sys) m.Model.root in
+  Model.make ~solver:m.Model.solver ~stop_time:m.Model.stop_time ~name:m.Model.model_name
+    root
+
+let position (b : System.block) =
+  match System.param_string b position_param with
+  | Some s -> (
+      try
+        Scanf.sscanf s "[%d, %d, %d, %d]" (fun a b c d -> Some (a, b, c, d))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+  | None -> None

@@ -1,0 +1,16 @@
+(** Automatic block placement.
+
+    Generated models need [Position] parameters to be readable when the
+    [.mdl] is opened in a GUI.  Blocks are placed on a left-to-right
+    layered grid: the layer is the longest dataflow distance from the
+    system's sources (back edges of cyclic systems are ignored), and
+    blocks within a layer stack vertically in declaration order. *)
+
+val position_param : string
+
+val run : Model.t -> Model.t
+(** Assign a [Position] to every block of every (sub)system.  Existing
+    positions are overwritten; all other parameters are preserved. *)
+
+val position : System.block -> (int * int * int * int) option
+(** Parsed [left, top, right, bottom] of a laid-out block. *)

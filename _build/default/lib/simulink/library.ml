@@ -1,0 +1,43 @@
+type entry = {
+  method_name : string;
+  block_type : Block.t;
+  params : (string * Block.param) list;
+  inputs : int;
+  outputs : int;
+}
+
+let entry ?(params = []) ?(inputs = 1) ?(outputs = 1) method_name block_type =
+  { method_name; block_type; params; inputs; outputs }
+
+let entries =
+  [
+    entry "mult" Block.Product ~inputs:2;
+    entry "add" Block.Sum ~inputs:2 ~params:[ ("Inputs", Block.P_string "++") ];
+    entry "sub" Block.Sum ~inputs:2 ~params:[ ("Inputs", Block.P_string "+-") ];
+    entry "gain" Block.Gain ~params:[ ("Gain", Block.P_float 1.0) ];
+    entry "delay" Block.Unit_delay ~params:[ ("InitialCondition", Block.P_float 0.0) ];
+    entry "const" Block.Constant ~inputs:0 ~params:[ ("Value", Block.P_float 0.0) ];
+    entry "mux" Block.Mux ~inputs:2;
+    entry "demux" Block.Demux ~outputs:2;
+    entry "sat" Block.Saturation
+      ~params:
+        [ ("UpperLimit", Block.P_float 1.0); ("LowerLimit", Block.P_float (-1.0)) ];
+    entry "switch" Block.Switch ~inputs:3;
+    entry "abs" Block.Abs;
+    entry "sqrt" Block.Sqrt;
+    entry "sin" Block.Trig ~params:[ ("Function", Block.P_string "sin") ];
+    entry "cos" Block.Trig ~params:[ ("Function", Block.P_string "cos") ];
+    entry "tan" Block.Trig ~params:[ ("Function", Block.P_string "tan") ];
+    entry "min" Block.Min_max ~inputs:2 ~params:[ ("Function", Block.P_string "min") ];
+    entry "max" Block.Min_max ~inputs:2 ~params:[ ("Function", Block.P_string "max") ];
+    entry "exp" Block.Math ~params:[ ("Function", Block.P_string "exp") ];
+    entry "log" Block.Math ~params:[ ("Function", Block.P_string "log") ];
+    entry "ground" Block.Ground ~inputs:0;
+    entry "sink" Block.Terminator ~outputs:0;
+  ]
+
+let lookup name =
+  let lowered = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.equal e.method_name lowered) entries
+
+let is_library_method name = lookup name <> None

@@ -1,0 +1,19 @@
+(** The predefined Simulink block library the Platform object stands
+    for (§4.1): when a thread invokes [Platform.mult(...)], the mapping
+    instantiates the corresponding library block; an unknown method
+    name falls back to an S-Function. *)
+
+type entry = {
+  method_name : string;
+  block_type : Block.t;
+  params : (string * Block.param) list;
+  inputs : int;
+  outputs : int;
+}
+
+val lookup : string -> entry option
+(** Case-insensitive lookup by method name ([mult], [add], [sub],
+    [gain], [delay], [const], [mux], [demux], [sat], [switch], ...). *)
+
+val entries : entry list
+val is_library_method : string -> bool

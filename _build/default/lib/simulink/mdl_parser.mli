@@ -1,0 +1,15 @@
+(** Parser for the [.mdl] subset {!Mdl_writer} emits (round-trip
+    tested), so generated models can be reloaded and inspected. *)
+
+exception Error of { line : int; message : string }
+
+(** Generic mdl section tree, exposed for tooling. *)
+type node = {
+  section : string;  (** e.g. ["Model"], ["Block"], ["Line"] *)
+  fields : (string * string) list;  (** raw values, strings unquoted *)
+  children : node list;
+}
+
+val parse_tree : string -> node
+val parse_string : string -> Model.t
+val parse_file : string -> Model.t

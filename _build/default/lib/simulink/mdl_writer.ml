@@ -1,0 +1,76 @@
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let field buf indent key value =
+  Buffer.add_string buf indent;
+  Buffer.add_string buf key;
+  Buffer.add_char buf '\t';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let param_value = function
+  | Block.P_string s -> quote s
+  | Block.P_int i -> string_of_int i
+  | Block.P_float f -> Printf.sprintf "%.17g" f
+  | Block.P_bool b -> if b then "on" else "off"
+
+let rec write_system buf indent (sys : System.t) =
+  let inner = indent ^ "  " in
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "System {\n";
+  field buf inner "Name" (quote sys.System.sys_name);
+  List.iter (write_block buf inner) (System.blocks sys);
+  List.iter (write_line buf inner) (System.lines sys);
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "}\n"
+
+and write_block buf indent (b : System.block) =
+  let inner = indent ^ "  " in
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "Block {\n";
+  field buf inner "BlockType" (Block.to_string b.System.blk_type);
+  field buf inner "Name" (quote b.System.blk_name);
+  let inputs, outputs = System.port_counts b in
+  field buf inner "Ports" (Printf.sprintf "[%d, %d]" inputs outputs);
+  List.iter
+    (fun (k, v) -> field buf inner k (param_value v))
+    b.System.blk_params;
+  (match b.System.blk_system with
+  | Some nested -> write_system buf inner nested
+  | None -> ());
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "}\n"
+
+and write_line buf indent (l : System.line) =
+  let inner = indent ^ "  " in
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "Line {\n";
+  field buf inner "SrcBlock" (quote l.System.src.System.block);
+  field buf inner "SrcPort" (string_of_int l.System.src.System.port);
+  field buf inner "DstBlock" (quote l.System.dst.System.block);
+  field buf inner "DstPort" (string_of_int l.System.dst.System.port);
+  Buffer.add_string buf indent;
+  Buffer.add_string buf "}\n"
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Model {\n";
+  field buf "  " "Name" (quote m.Model.model_name);
+  field buf "  " "Solver" (quote m.Model.solver);
+  field buf "  " "StopTime" (quote (Printf.sprintf "%.17g" m.Model.stop_time));
+  write_system buf "  " m.Model.root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save m path =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc

@@ -1,0 +1,5 @@
+(** Model-to-text generation of Simulink [.mdl] files (step 4 of the
+    paper's mapping flow, Fig. 2). *)
+
+val to_string : Model.t -> string
+val save : Model.t -> string -> unit

@@ -1,0 +1,34 @@
+type t = {
+  model_name : string;
+  solver : string;
+  stop_time : float;
+  root : System.t;
+}
+
+let make ?(solver = "FixedStepDiscrete") ?(stop_time = 10.0) ~name root =
+  { model_name = name; solver; stop_time; root = System.rename_system root name }
+
+let validate t = System.validate t.root
+
+let count_type t ty =
+  let n = ref 0 in
+  System.iter_systems
+    (fun _ sys -> n := !n + List.length (System.blocks_of_type sys ty))
+    t.root;
+  !n
+
+let stats t =
+  [
+    ("blocks", System.total_blocks t.root);
+    ("lines", System.total_lines t.root);
+    ("subsystems", count_type t Block.Subsystem);
+    ("s-functions", count_type t Block.S_function);
+    ("unit delays", count_type t Block.Unit_delay);
+    ("channels", count_type t Block.Channel);
+    ("inports", count_type t Block.Inport);
+    ("outports", count_type t Block.Outport);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>model %s (solver %s, stop %.2f)@,%a@]" t.model_name t.solver
+    t.stop_time System.pp t.root

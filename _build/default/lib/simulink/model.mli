@@ -1,0 +1,14 @@
+(** Top-level Simulink models: a named root system plus simulation
+    parameters (solver, stop time), as stored in an [.mdl] file. *)
+
+type t = {
+  model_name : string;
+  solver : string;
+  stop_time : float;
+  root : System.t;
+}
+
+val make : ?solver:string -> ?stop_time:float -> name:string -> System.t -> t
+val validate : t -> System.complaint list
+val stats : t -> (string * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type change =
+  | Block_added of string list * string
+  | Block_removed of string list * string
+  | Block_type_changed of string list * string * Block.t * Block.t
+  | Param_changed of string list * string * string * Block.param option * Block.param option
+  | Line_added of string list * System.line
+  | Line_removed of string list * System.line
+
+let diff ?(ignore_params = [ "Position" ]) (a : Model.t) (b : Model.t) =
+  let changes = ref [] in
+  let push c = changes := c :: !changes in
+  let rec diff_system path (sa : System.t) (sb : System.t) =
+    let names sys =
+      List.map (fun (blk : System.block) -> blk.System.blk_name) (System.blocks sys)
+    in
+    List.iter
+      (fun n -> if not (List.mem n (names sb)) then push (Block_removed (path, n)))
+      (names sa);
+    List.iter
+      (fun n -> if not (List.mem n (names sa)) then push (Block_added (path, n)))
+      (names sb);
+    List.iter
+      (fun (ba : System.block) ->
+        match System.find_block sb ba.System.blk_name with
+        | None -> ()
+        | Some bb ->
+            if ba.System.blk_type <> bb.System.blk_type then
+              push
+                (Block_type_changed
+                   (path, ba.System.blk_name, ba.System.blk_type, bb.System.blk_type));
+            let keys =
+              List.map fst ba.System.blk_params @ List.map fst bb.System.blk_params
+              |> List.sort_uniq compare
+              |> List.filter (fun k -> not (List.mem k ignore_params))
+            in
+            List.iter
+              (fun key ->
+                let va = List.assoc_opt key ba.System.blk_params in
+                let vb = List.assoc_opt key bb.System.blk_params in
+                if va <> vb then
+                  push (Param_changed (path, ba.System.blk_name, key, va, vb)))
+              keys;
+            (match (ba.System.blk_system, bb.System.blk_system) with
+            | Some ia, Some ib -> diff_system (path @ [ ba.System.blk_name ]) ia ib
+            | Some ia, None ->
+                List.iter
+                  (fun (blk : System.block) ->
+                    push (Block_removed (path @ [ ba.System.blk_name ], blk.System.blk_name)))
+                  (System.blocks ia)
+            | None, Some ib ->
+                List.iter
+                  (fun (blk : System.block) ->
+                    push (Block_added (path @ [ ba.System.blk_name ], blk.System.blk_name)))
+                  (System.blocks ib)
+            | None, None -> ()))
+      (System.blocks sa);
+    List.iter
+      (fun l -> if not (List.mem l (System.lines sb)) then push (Line_removed (path, l)))
+      (System.lines sa);
+    List.iter
+      (fun l -> if not (List.mem l (System.lines sa)) then push (Line_added (path, l)))
+      (System.lines sb)
+  in
+  diff_system [] a.Model.root b.Model.root;
+  List.rev !changes
+
+let equivalent ?ignore_params a b = diff ?ignore_params a b = []
+
+let pp_path ppf path =
+  Format.pp_print_string ppf (String.concat "/" ("top" :: path))
+
+let pp_param_opt ppf = function
+  | Some p -> Format.pp_print_string ppf (Block.param_to_string p)
+  | None -> Format.pp_print_string ppf "<absent>"
+
+let pp_change ppf = function
+  | Block_added (path, name) -> Format.fprintf ppf "+ block %a/%s" pp_path path name
+  | Block_removed (path, name) -> Format.fprintf ppf "- block %a/%s" pp_path path name
+  | Block_type_changed (path, name, was, now) ->
+      Format.fprintf ppf "~ block %a/%s: %s -> %s" pp_path path name (Block.to_string was)
+        (Block.to_string now)
+  | Param_changed (path, name, key, was, now) ->
+      Format.fprintf ppf "~ param %a/%s.%s: %a -> %a" pp_path path name key pp_param_opt
+        was pp_param_opt now
+  | Line_added (path, l) ->
+      Format.fprintf ppf "+ line %a: %s/%d -> %s/%d" pp_path path l.System.src.System.block
+        l.System.src.System.port l.System.dst.System.block l.System.dst.System.port
+  | Line_removed (path, l) ->
+      Format.fprintf ppf "- line %a: %s/%d -> %s/%d" pp_path path l.System.src.System.block
+        l.System.src.System.port l.System.dst.System.block l.System.dst.System.port

@@ -1,0 +1,21 @@
+(** Structural diff of two Simulink models — regression tooling for a
+    generator: after a flow change, [diff old new] states precisely
+    which blocks/lines/parameters moved, instead of a textual mdl
+    diff. *)
+
+type change =
+  | Block_added of string list * string  (** path, block name *)
+  | Block_removed of string list * string
+  | Block_type_changed of string list * string * Block.t * Block.t
+  | Param_changed of string list * string * string * Block.param option * Block.param option
+      (** path, block, key, old, new ([None] = absent) *)
+  | Line_added of string list * System.line
+  | Line_removed of string list * System.line
+
+val diff : ?ignore_params:string list -> Model.t -> Model.t -> change list
+(** Changes turning the first model into the second, outer systems
+    first.  [ignore_params] (default [["Position"]]) filters parameter
+    noise such as layout. *)
+
+val equivalent : ?ignore_params:string list -> Model.t -> Model.t -> bool
+val pp_change : Format.formatter -> change -> unit

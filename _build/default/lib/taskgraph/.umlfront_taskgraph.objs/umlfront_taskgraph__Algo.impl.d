@@ -1,0 +1,1 @@
+lib/taskgraph/algo.ml: Float Graph Hashtbl List String

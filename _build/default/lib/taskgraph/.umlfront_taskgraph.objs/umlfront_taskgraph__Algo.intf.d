@@ -1,0 +1,1 @@
+lib/taskgraph/algo.mli: Graph

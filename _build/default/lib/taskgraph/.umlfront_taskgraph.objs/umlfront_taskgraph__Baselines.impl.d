@@ -1,0 +1,1 @@
+lib/taskgraph/baselines.ml: Array Clustering Graph List Random

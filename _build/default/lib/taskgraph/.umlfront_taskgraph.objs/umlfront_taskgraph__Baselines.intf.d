@@ -1,0 +1,1 @@
+lib/taskgraph/baselines.mli: Clustering Graph

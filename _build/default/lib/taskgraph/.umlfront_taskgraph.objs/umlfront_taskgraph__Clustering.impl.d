@@ -1,0 +1,1 @@
+lib/taskgraph/clustering.ml: Algo Float Format Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/taskgraph/clustering.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/dsc.ml: Algo Clustering Float Graph Hashtbl List String

@@ -1,0 +1,1 @@
+lib/taskgraph/dsc.mli: Clustering Graph

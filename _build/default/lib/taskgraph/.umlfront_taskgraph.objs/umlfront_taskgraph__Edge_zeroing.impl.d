@@ -1,0 +1,1 @@
+lib/taskgraph/edge_zeroing.ml: Clustering Float Graph List

@@ -1,0 +1,1 @@
+lib/taskgraph/edge_zeroing.mli: Clustering Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/generator.ml: Array Clustering Graph List Printf Random

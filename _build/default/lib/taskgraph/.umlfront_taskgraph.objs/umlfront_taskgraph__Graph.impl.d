@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/taskgraph/linear_clustering.ml: Algo Clustering Float Graph Hashtbl List

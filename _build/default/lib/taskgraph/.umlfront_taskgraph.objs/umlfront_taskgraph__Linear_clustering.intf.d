@@ -1,0 +1,1 @@
+lib/taskgraph/linear_clustering.mli: Clustering Graph

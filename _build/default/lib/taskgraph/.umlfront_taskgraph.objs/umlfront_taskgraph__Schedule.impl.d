@@ -1,0 +1,1 @@
+lib/taskgraph/schedule.ml: Algo Array Clustering Float Format Graph Hashtbl List Option

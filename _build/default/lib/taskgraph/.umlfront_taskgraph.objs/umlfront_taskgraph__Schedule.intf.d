@@ -1,0 +1,1 @@
+lib/taskgraph/schedule.mli: Clustering Format Graph

@@ -1,0 +1,174 @@
+exception Cycle of Graph.node_id list
+
+type mark = White | Grey | Black
+
+let dfs_forest g =
+  (* Returns (finish-ordered nodes, back edges). *)
+  let marks = Hashtbl.create 32 in
+  let mark id = try Hashtbl.find marks id with Not_found -> White in
+  let finished = ref [] in
+  let back_edges = ref [] in
+  let rec visit id =
+    Hashtbl.replace marks id Grey;
+    List.iter
+      (fun next ->
+        match mark next with
+        | White -> visit next
+        | Grey -> back_edges := (id, next) :: !back_edges
+        | Black -> ())
+      (Graph.succs g id);
+    Hashtbl.replace marks id Black;
+    finished := id :: !finished
+  in
+  List.iter (fun id -> if mark id = White then visit id) (Graph.nodes g);
+  (!finished, List.rev !back_edges)
+
+let all_back_edges g = snd (dfs_forest g)
+
+let find_cycle g =
+  match all_back_edges g with
+  | [] -> None
+  | (from_node, to_node) :: _ ->
+      (* The back edge closes a cycle to_node -> ... -> from_node -> to_node.
+         Recover the path to_node ~> from_node with a DFS. *)
+      let rec path seen current =
+        if String.equal current from_node then Some [ current ]
+        else if List.mem current seen then None
+        else
+          let seen = current :: seen in
+          List.fold_left
+            (fun acc next ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match path seen next with
+                  | Some rest -> Some (current :: rest)
+                  | None -> None))
+            None (Graph.succs g current)
+      in
+      (match path [] to_node with
+      | Some p -> Some p
+      | None -> Some [ from_node ])
+
+let topological_sort g =
+  let order, back = dfs_forest g in
+  match back with
+  | [] -> order
+  | _ :: _ -> (
+      match find_cycle g with
+      | Some c -> raise (Cycle c)
+      | None -> raise (Cycle []))
+
+let is_acyclic g = all_back_edges g = []
+
+let sources g = List.filter (fun id -> Graph.preds g id = []) (Graph.nodes g)
+let sinks g = List.filter (fun id -> Graph.succs g id = []) (Graph.nodes g)
+
+let top_level g =
+  let order = topological_sort g in
+  let tl = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let via = Hashtbl.find tl p +. Graph.node_weight g p +. Graph.edge_weight g p id in
+            Float.max acc via)
+          0.0 (Graph.preds g id)
+      in
+      Hashtbl.replace tl id best)
+    order;
+  fun id -> Hashtbl.find tl id
+
+let bottom_level g =
+  let order = topological_sort g in
+  let bl = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let best =
+        List.fold_left
+          (fun acc s ->
+            let via = Graph.edge_weight g id s +. Hashtbl.find bl s in
+            Float.max acc via)
+          0.0 (Graph.succs g id)
+      in
+      Hashtbl.replace bl id (best +. Graph.node_weight g id))
+    (List.rev order);
+  fun id -> Hashtbl.find bl id
+
+let critical_path g =
+  let tl = top_level g and bl = bottom_level g in
+  match Graph.nodes g with
+  | [] -> ([], 0.0)
+  | first :: _ ->
+      let length = ref (tl first +. bl first) in
+      List.iter
+        (fun id ->
+          let l = tl id +. bl id in
+          if l > !length then length := l)
+        (Graph.nodes g);
+      (* Walk the path greedily from a source achieving the total. *)
+      let eps = 1e-9 in
+      let on_path id = Float.abs (tl id +. bl id -. !length) < eps in
+      let start =
+        match List.filter on_path (sources g) with
+        | s :: _ -> s
+        | [] -> first
+      in
+      let rec walk id acc =
+        let acc = id :: acc in
+        let next =
+          List.find_opt
+            (fun s ->
+              on_path s
+              && Float.abs (tl s -. (tl id +. Graph.node_weight g id +. Graph.edge_weight g id s))
+                 < eps)
+            (Graph.succs g id)
+        in
+        match next with Some s -> walk s acc | None -> List.rev acc
+      in
+      (walk start [], !length)
+
+let longest_path_between g ~src ~dst =
+  (* Longest weighted path src ~> dst in a DAG; None when unreachable. *)
+  let order = topological_sort g in
+  let dist = Hashtbl.create 32 in
+  let pred = Hashtbl.create 32 in
+  Hashtbl.replace dist src 0.0;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt dist id with
+      | None -> ()
+      | Some d ->
+          List.iter
+            (fun s ->
+              let via = d +. Graph.node_weight g id +. Graph.edge_weight g id s in
+              match Hashtbl.find_opt dist s with
+              | Some existing when existing >= via -> ()
+              | Some _ | None ->
+                  Hashtbl.replace dist s via;
+                  Hashtbl.replace pred s id)
+            (Graph.succs g id))
+    order;
+  if not (Hashtbl.mem dist dst) then None
+  else
+    let rec back id acc =
+      if String.equal id src then src :: acc
+      else back (Hashtbl.find pred id) (id :: acc)
+    in
+    Some (back dst [])
+
+let reachable g start =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let rec visit id =
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem seen s) then (
+          Hashtbl.replace seen s ();
+          acc := s :: !acc;
+          visit s))
+      (Graph.succs g id)
+  in
+  visit start;
+  List.rev !acc

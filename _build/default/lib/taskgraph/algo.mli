@@ -1,0 +1,38 @@
+(** Classic DAG algorithms used by the clustering heuristics and by the
+    temporal-barrier inserter. *)
+
+exception Cycle of Graph.node_id list
+(** A cycle, as the list of nodes along it. *)
+
+val topological_sort : Graph.t -> Graph.node_id list
+(** @raise Cycle when the graph is not a DAG. *)
+
+val is_acyclic : Graph.t -> bool
+
+val find_cycle : Graph.t -> Graph.node_id list option
+(** Some cycle as a node list [n1; ...; nk] with edges n1->n2->...->nk->n1. *)
+
+val all_back_edges : Graph.t -> (Graph.node_id * Graph.node_id) list
+(** Back edges of a DFS over the graph in node order; removing them all
+    makes the graph acyclic. *)
+
+val sources : Graph.t -> Graph.node_id list
+val sinks : Graph.t -> Graph.node_id list
+
+val top_level : Graph.t -> (Graph.node_id -> float)
+(** [tlevel v]: longest path length (node + edge weights) from any
+    source to [v], excluding [v]'s own weight.  Graph must be a DAG. *)
+
+val bottom_level : Graph.t -> (Graph.node_id -> float)
+(** [blevel v]: longest path length from [v] to any sink, including
+    [v]'s weight. *)
+
+val critical_path : Graph.t -> Graph.node_id list * float
+(** Longest path through the DAG (nodes in order, and its length
+    including communication). *)
+
+val longest_path_between :
+  Graph.t -> src:Graph.node_id -> dst:Graph.node_id -> Graph.node_id list option
+
+val reachable : Graph.t -> Graph.node_id -> Graph.node_id list
+(** Nodes reachable from the given node (excluding it), DFS order. *)

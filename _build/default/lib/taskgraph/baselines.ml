@@ -1,0 +1,20 @@
+let single_cluster g = Clustering.of_groups [ Graph.nodes g ]
+let one_per_node g = Clustering.singleton_per_node g
+
+let group_by_index assign cpus g =
+  let buckets = Array.make cpus [] in
+  List.iteri
+    (fun i id ->
+      let c = assign i id in
+      buckets.(c) <- id :: buckets.(c))
+    (Graph.nodes g);
+  Clustering.of_groups (Array.to_list (Array.map List.rev buckets))
+
+let round_robin ~cpus g =
+  if cpus < 1 then invalid_arg "baselines: cpus < 1";
+  group_by_index (fun i _ -> i mod cpus) cpus g
+
+let random ~seed ~cpus g =
+  if cpus < 1 then invalid_arg "baselines: cpus < 1";
+  let state = Random.State.make [| seed |] in
+  group_by_index (fun _ _ -> Random.State.int state cpus) cpus g

@@ -1,0 +1,14 @@
+(** Trivial allocation baselines for the ablation benches. *)
+
+val single_cluster : Graph.t -> Clustering.t
+(** Everything on one CPU: zero inter-CPU communication, zero
+    parallelism. *)
+
+val one_per_node : Graph.t -> Clustering.t
+(** One CPU per task: maximum parallelism, maximum communication. *)
+
+val round_robin : cpus:int -> Graph.t -> Clustering.t
+(** Deal nodes (in insertion order) over [cpus] clusters. *)
+
+val random : seed:int -> cpus:int -> Graph.t -> Clustering.t
+(** Uniform random placement, deterministic in [seed]. *)

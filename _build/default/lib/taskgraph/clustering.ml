@@ -1,0 +1,140 @@
+type t = { group_list : Graph.node_id list list }
+
+let of_groups groups =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun id ->
+         if Hashtbl.mem seen id then
+           invalid_arg (Printf.sprintf "clustering: node %s in two clusters" id);
+         Hashtbl.add seen id ()))
+    groups;
+  { group_list = List.filter (fun g -> g <> []) groups }
+
+let singleton_per_node g = of_groups (List.map (fun id -> [ id ]) (Graph.nodes g))
+let groups t = t.group_list
+
+let cluster_of t id =
+  let rec find idx = function
+    | [] -> raise Not_found
+    | g :: rest -> if List.mem id g then idx else find (idx + 1) rest
+  in
+  find 0 t.group_list
+
+let same_cluster t a b = cluster_of t a = cluster_of t b
+let cluster_count t = List.length t.group_list
+
+let merge t i j =
+  if i = j then t
+  else
+    let lo = min i j and hi = max i j in
+    let merged = List.nth t.group_list lo @ List.nth t.group_list hi in
+    let rest =
+      List.filteri (fun idx _ -> idx <> lo && idx <> hi) t.group_list
+    in
+    { group_list = merged :: rest }
+
+let is_partition_of g t =
+  let graph_nodes = List.sort_uniq compare (Graph.nodes g) in
+  let cluster_nodes = List.sort compare (List.concat t.group_list) in
+  let distinct = List.sort_uniq compare cluster_nodes in
+  List.length cluster_nodes = List.length distinct && graph_nodes = distinct
+
+let is_linear g t =
+  let reach = Hashtbl.create 32 in
+  let reaches a b =
+    let set =
+      match Hashtbl.find_opt reach a with
+      | Some s -> s
+      | None ->
+          let s = Algo.reachable g a in
+          Hashtbl.replace reach a s;
+          s
+    in
+    List.mem b set
+  in
+  List.for_all
+    (fun group ->
+      let rec pairs = function
+        | [] -> true
+        | a :: rest ->
+            List.for_all (fun b -> reaches a b || reaches b a) rest && pairs rest
+      in
+      pairs group)
+    t.group_list
+
+let inter_cluster_volume g t =
+  List.fold_left
+    (fun acc (src, dst, w) -> if same_cluster t src dst then acc else acc +. w)
+    0.0 (Graph.edges g)
+
+let intra_cluster_volume g t =
+  List.fold_left
+    (fun acc (src, dst, w) -> if same_cluster t src dst then acc +. w else acc)
+    0.0 (Graph.edges g)
+
+type scheduled = {
+  task : Graph.node_id;
+  processor : int;
+  start : float;
+  finish : float;
+}
+
+let schedule g t =
+  let order = Algo.topological_sort g in
+  let proc_free = Hashtbl.create 8 in
+  let finish_time = Hashtbl.create 32 in
+  let free p = try Hashtbl.find proc_free p with Not_found -> 0.0 in
+  List.map
+    (fun task ->
+      let processor = cluster_of t task in
+      let data_ready =
+        List.fold_left
+          (fun acc p ->
+            let comm = if same_cluster t p task then 0.0 else Graph.edge_weight g p task in
+            Float.max acc (Hashtbl.find finish_time p +. comm))
+          0.0 (Graph.preds g task)
+      in
+      let start = Float.max (free processor) data_ready in
+      let finish = start +. Graph.node_weight g task in
+      Hashtbl.replace proc_free processor finish;
+      Hashtbl.replace finish_time task finish;
+      { task; processor; start; finish })
+    order
+
+let parallel_time g t =
+  List.fold_left (fun acc s -> Float.max acc s.finish) 0.0 (schedule g t)
+
+let sequential_time g =
+  List.fold_left (fun acc id -> acc +. Graph.node_weight g id) 0.0 (Graph.nodes g)
+
+let granularity g =
+  let grain_at node =
+    let adjacent =
+      List.map (fun p -> (Graph.node_weight g p, Graph.edge_weight g p node)) (Graph.preds g node)
+      @ List.map (fun s -> (Graph.node_weight g s, Graph.edge_weight g node s)) (Graph.succs g node)
+    in
+    match adjacent with
+    | [] -> infinity
+    | _ :: _ ->
+        let min_comp =
+          List.fold_left (fun acc (c, _) -> Float.min acc c) infinity adjacent
+        in
+        let max_comm = List.fold_left (fun acc (_, w) -> Float.max acc w) 0.0 adjacent in
+        if max_comm <= 0.0 then infinity else min_comp /. max_comm
+  in
+  List.fold_left (fun acc v -> Float.min acc (grain_at v)) infinity (Graph.nodes g)
+
+let critical_path_cluster g t =
+  match fst (Algo.critical_path g) with
+  | [] -> true
+  | first :: rest ->
+      let c = cluster_of t first in
+      List.for_all (fun id -> cluster_of t id = c) rest
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i group ->
+      Format.fprintf ppf "cluster %d: {%s}@," i (String.concat ", " group))
+    t.group_list;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Clusterings of a task graph: a partition of the nodes where every
+    cluster ends up on its own processor.  Provides the quality metrics
+    used to compare allocation heuristics (inter-cluster communication
+    volume and estimated parallel time). *)
+
+type t
+
+val of_groups : Graph.node_id list list -> t
+(** @raise Invalid_argument if a node appears in two groups. *)
+
+val singleton_per_node : Graph.t -> t
+
+val groups : t -> Graph.node_id list list
+(** Clusters in index order; node order inside a cluster is the order
+    given at construction. *)
+
+val cluster_of : t -> Graph.node_id -> int
+(** @raise Not_found for unknown nodes. *)
+
+val same_cluster : t -> Graph.node_id -> Graph.node_id -> bool
+val cluster_count : t -> int
+val merge : t -> int -> int -> t
+(** Merge two clusters (by index); indices are renumbered densely. *)
+
+val is_partition_of : Graph.t -> t -> bool
+(** Every graph node in exactly one cluster and vice versa. *)
+
+val is_linear : Graph.t -> t -> bool
+(** Every cluster is totally ordered by reachability (no two
+    independent tasks share a cluster) — the defining property of
+    linear clustering. *)
+
+(** {1 Metrics} *)
+
+val inter_cluster_volume : Graph.t -> t -> float
+(** Sum of edge weights crossing cluster boundaries (the inter-CPU
+    communication the optimization minimizes). *)
+
+val intra_cluster_volume : Graph.t -> t -> float
+
+type scheduled = {
+  task : Graph.node_id;
+  processor : int;
+  start : float;
+  finish : float;
+}
+
+val schedule : Graph.t -> t -> scheduled list
+(** Execute each cluster on its own processor: tasks run in global
+    topological order, a task starts when its processor is free and all
+    predecessor data has arrived (communication cost zero inside a
+    cluster, the edge weight across clusters).  Graph must be a DAG. *)
+
+val parallel_time : Graph.t -> t -> float
+(** Makespan of {!schedule}. *)
+
+val sequential_time : Graph.t -> float
+(** Sum of all node weights (single-processor baseline, no comm). *)
+
+val granularity : Graph.t -> float
+(** Gerasoulis & Yang's grain measure (their ref is the paper's [18]):
+    the minimum over nodes of (smallest adjacent computation) /
+    (largest adjacent communication).  A graph is coarse-grain when the
+    result is >= 1, the regime where linear clustering is provably
+    within a factor 2 of the optimal clustering.  Returns [infinity]
+    for graphs without edges. *)
+
+val critical_path_cluster : Graph.t -> t -> bool
+(** True when all nodes of the graph's critical path share one cluster
+    (the "good practice" §4.2.3 points out). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let edges_of buf g =
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (s, d, w) -> out "  \"%s\" -> \"%s\" [label=\"%.3g\"];\n" (escape s) (escape d) w)
+    (Graph.edges g)
+
+let graph g =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph taskgraph {\n  rankdir=TB;\n  node [shape=circle];\n";
+  List.iter
+    (fun id ->
+      out "  \"%s\" [label=\"%s\\n%.3g\"];\n" (escape id) (escape id) (Graph.node_weight g id))
+    (Graph.nodes g);
+  edges_of buf g;
+  out "}\n";
+  Buffer.contents buf
+
+let clustered g clustering =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph clustered {\n  rankdir=TB;\n  node [shape=circle];\n";
+  List.iteri
+    (fun i group ->
+      out "  subgraph cluster_%d {\n    label=\"CPU%d\";\n    style=rounded;\n" i i;
+      List.iter
+        (fun id ->
+          out "    \"%s\" [label=\"%s\\n%.3g\"];\n" (escape id) (escape id)
+            (Graph.node_weight g id))
+        group;
+      out "  }\n")
+    (Clustering.groups clustering);
+  edges_of buf g;
+  out "}\n";
+  Buffer.contents buf
+
+let save content ~path =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc

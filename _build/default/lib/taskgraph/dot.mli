@@ -1,0 +1,11 @@
+(** Graphviz export of task graphs and clusterings — the Fig. 7-style
+    artifacts (task graph, cluster boxes) for documentation. *)
+
+val graph : Graph.t -> string
+(** Plain digraph: nodes labelled with weights, edges with costs. *)
+
+val clustered : Graph.t -> Clustering.t -> string
+(** Same digraph with one Graphviz [subgraph cluster_i] box per
+    cluster, as in the paper's Fig. 7(b). *)
+
+val save : string -> path:string -> unit

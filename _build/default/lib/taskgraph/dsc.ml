@@ -1,0 +1,89 @@
+(* Simplified DSC.  We keep, per cluster, the ordered list of its tasks
+   and the finish time of its last task; a node's tentative top level in
+   a cluster is max(cluster finish, data-arrival times with the edge
+   from in-cluster predecessors zeroed). *)
+
+type cluster = { mutable members : Graph.node_id list; mutable finish : float }
+
+let run g =
+  let order = Algo.topological_sort g in
+  let blevel = Algo.bottom_level g in
+  let cluster_of : (Graph.node_id, cluster) Hashtbl.t = Hashtbl.create 32 in
+  let node_finish : (Graph.node_id, float) Hashtbl.t = Hashtbl.create 32 in
+  let tlevel_in cluster_opt id =
+    let arrival p =
+      let same =
+        match (cluster_opt, Hashtbl.find_opt cluster_of p) with
+        | Some c, Some cp -> c == cp
+        | _, _ -> false
+      in
+      let comm = if same then 0.0 else Graph.edge_weight g p id in
+      Hashtbl.find node_finish p +. comm
+    in
+    let data = List.fold_left (fun acc p -> Float.max acc (arrival p)) 0.0 (Graph.preds g id) in
+    match cluster_opt with
+    | Some c -> Float.max data c.finish
+    | None -> data
+  in
+  (* Process in topological order refined by priority: among nodes whose
+     predecessors are all placed, highest tlevel+blevel first.  Since we
+     recompute tlevel as we go, a simple priority-refined topological
+     sweep is enough for the baseline. *)
+  let priority id = blevel id in
+  let remaining = ref order in
+  let ready placed id = List.for_all (fun p -> List.mem p placed) (Graph.preds g id) in
+  let placed = ref [] in
+  while !remaining <> [] do
+    let free = List.filter (ready !placed) !remaining in
+    let chosen =
+      List.fold_left
+        (fun best id ->
+          match best with
+          | None -> Some id
+          | Some b -> if priority id > priority b then Some id else best)
+        None free
+    in
+    match chosen with
+    | None -> failwith "dsc: no free node (cycle?)"
+    | Some id ->
+        let alone = tlevel_in None id in
+        let candidates =
+          Graph.preds g id
+          |> List.filter_map (fun p ->
+                 let c = Hashtbl.find cluster_of p in
+                 (* Only the current tail of a cluster may be extended,
+                    keeping clusters linear. *)
+                 match c.members with
+                 | tail :: _ when String.equal tail p ->
+                     Some (c, tlevel_in (Some c) id)
+                 | _ -> None)
+        in
+        let best =
+          List.fold_left
+            (fun acc (c, t) ->
+              match acc with
+              | Some (_, bt) when bt <= t -> acc
+              | Some _ | None -> Some (c, t))
+            None candidates
+        in
+        let cluster, start =
+          match best with
+          | Some (c, t) when t <= alone -> (c, t)
+          | Some _ | None -> ({ members = []; finish = 0.0 }, alone)
+        in
+        cluster.members <- id :: cluster.members;
+        let finish = start +. Graph.node_weight g id in
+        cluster.finish <- finish;
+        Hashtbl.replace node_finish id finish;
+        Hashtbl.replace cluster_of id cluster;
+        placed := id :: !placed;
+        remaining := List.filter (fun n -> not (String.equal n id)) !remaining
+  done;
+  (* Collect distinct clusters preserving first-member order. *)
+  let seen = ref [] in
+  List.iter
+    (fun id ->
+      let c = Hashtbl.find cluster_of id in
+      if not (List.memq c !seen) then seen := c :: !seen)
+    order;
+  Clustering.of_groups (List.rev_map (fun c -> List.rev c.members) !seen)

@@ -1,0 +1,10 @@
+(** Dominant Sequence Clustering (Yang & Gerasoulis), simplified: a
+    stronger clustering baseline than plain linear clustering for the
+    allocation-quality ablation.
+
+    Nodes are examined in decreasing [tlevel + blevel] priority among
+    free nodes; each node tries to join the predecessor cluster that
+    most reduces its top level, and stays alone when no merge helps. *)
+
+val run : Graph.t -> Clustering.t
+(** @raise Algo.Cycle when the graph is not a DAG. *)

@@ -1,0 +1,18 @@
+let run g =
+  let edges =
+    List.sort (fun (_, _, w1) (_, _, w2) -> Float.compare w2 w1) (Graph.edges g)
+  in
+  List.fold_left
+    (fun clustering (src, dst, _) ->
+      let ci = Clustering.cluster_of clustering src in
+      let cj = Clustering.cluster_of clustering dst in
+      if ci = cj then clustering
+      else
+        let merged = Clustering.merge clustering ci cj in
+        if
+          Clustering.parallel_time g merged
+          <= Clustering.parallel_time g clustering +. 1e-9
+        then merged
+        else clustering)
+    (Clustering.singleton_per_node g)
+    edges

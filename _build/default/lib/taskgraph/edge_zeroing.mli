@@ -1,0 +1,6 @@
+(** Sarkar's edge-zeroing clustering baseline: examine edges by
+    decreasing communication weight and merge the two endpoint clusters
+    whenever the merge does not increase the estimated parallel time. *)
+
+val run : Graph.t -> Clustering.t
+(** @raise Algo.Cycle when the graph is not a DAG. *)

@@ -1,0 +1,70 @@
+let scale_to_ccr g ccr =
+  (* Rescale edge weights so total_comm / total_comp = ccr. *)
+  let comp = Clustering.sequential_time g in
+  let comm = Graph.total_edge_weight g in
+  if comm <= 0.0 then g
+  else
+    let factor = ccr *. comp /. comm in
+    Graph.of_lists
+      ~nodes:(List.map (fun id -> (id, Graph.node_weight g id)) (Graph.nodes g))
+      ~edges:(List.map (fun (s, d, w) -> (s, d, w *. factor)) (Graph.edges g))
+
+let layered ~seed ~layers ~width ~edge_probability ~ccr () =
+  if layers < 1 || width < 1 then invalid_arg "generator: layers/width < 1";
+  let state = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let name l i = Printf.sprintf "t%d_%d" l i in
+  let layer_sizes =
+    Array.init layers (fun _ -> 1 + Random.State.int state width)
+  in
+  Array.iteri
+    (fun l size ->
+      for i = 0 to size - 1 do
+        Graph.add_node g ~weight:(1.0 +. float_of_int (Random.State.int state 10)) (name l i)
+      done)
+    layer_sizes;
+  for l = 1 to layers - 1 do
+    for i = 0 to layer_sizes.(l) - 1 do
+      let connected = ref false in
+      for j = 0 to layer_sizes.(l - 1) - 1 do
+        if Random.State.float state 1.0 < edge_probability then (
+          Graph.add_edge g ~weight:(1.0 +. Random.State.float state 9.0) (name (l - 1) j)
+            (name l i);
+          connected := true)
+      done;
+      if not !connected then
+        let j = Random.State.int state layer_sizes.(l - 1) in
+        Graph.add_edge g ~weight:(1.0 +. Random.State.float state 9.0) (name (l - 1) j)
+          (name l i)
+    done
+  done;
+  scale_to_ccr g ccr
+
+let fork_join ~seed ~branches ~depth ~ccr () =
+  if branches < 1 || depth < 1 then invalid_arg "generator: branches/depth < 1";
+  let state = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let w () = 1.0 +. float_of_int (Random.State.int state 10) in
+  Graph.add_node g ~weight:(w ()) "fork";
+  Graph.add_node g ~weight:(w ()) "join";
+  for b = 0 to branches - 1 do
+    let prev = ref "fork" in
+    for d = 0 to depth - 1 do
+      let id = Printf.sprintf "b%d_%d" b d in
+      Graph.add_node g ~weight:(w ()) id;
+      Graph.add_edge g ~weight:(1.0 +. Random.State.float state 9.0) !prev id;
+      prev := id
+    done;
+    Graph.add_edge g ~weight:(1.0 +. Random.State.float state 9.0) !prev "join"
+  done;
+  scale_to_ccr g ccr
+
+let chain ~n =
+  let g = Graph.create () in
+  for i = 0 to n - 1 do
+    Graph.add_node g (Printf.sprintf "t%d" i)
+  done;
+  for i = 0 to n - 2 do
+    Graph.add_edge g (Printf.sprintf "t%d" i) (Printf.sprintf "t%d" (i + 1))
+  done;
+  g

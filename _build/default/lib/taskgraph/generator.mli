@@ -1,0 +1,23 @@
+(** Synthetic task-graph workloads for benchmarks and property tests. *)
+
+val layered :
+  seed:int ->
+  layers:int ->
+  width:int ->
+  edge_probability:float ->
+  ccr:float ->
+  unit ->
+  Graph.t
+(** Random layered DAG: [layers] ranks of up to [width] nodes; an edge
+    between consecutive-rank nodes appears with [edge_probability]
+    (each node keeps at least one predecessor so the graph is
+    connected forward).  Node weights are uniform in [1, 10]; edge
+    weights are scaled so the overall communication-to-computation
+    ratio is about [ccr].  Deterministic in [seed]. *)
+
+val fork_join : seed:int -> branches:int -> depth:int -> ccr:float -> unit -> Graph.t
+(** Fork-join shape: a source fans out to [branches] chains of length
+    [depth] that rejoin in a sink. *)
+
+val chain : n:int -> Graph.t
+(** Straight pipeline of [n] unit-weight tasks with unit-weight edges. *)

@@ -1,0 +1,103 @@
+type node_id = string
+
+type node_record = {
+  mutable weight : float;
+  mutable out_edges : (node_id * float) list;  (* reverse insertion order *)
+  mutable in_edges : node_id list;
+}
+
+type t = {
+  table : (node_id, node_record) Hashtbl.t;
+  mutable order : node_id list;  (* reverse insertion order *)
+}
+
+let create () = { table = Hashtbl.create 32; order = [] }
+
+let find_or_add g id =
+  match Hashtbl.find_opt g.table id with
+  | Some r -> r
+  | None ->
+      let r = { weight = 1.0; out_edges = []; in_edges = [] } in
+      Hashtbl.add g.table id r;
+      g.order <- id :: g.order;
+      r
+
+let add_node g ?(weight = 1.0) id =
+  let r = find_or_add g id in
+  r.weight <- weight
+
+let mem_node g id = Hashtbl.mem g.table id
+
+let add_edge g ?(weight = 1.0) src dst =
+  let rs = find_or_add g src in
+  let rd = find_or_add g dst in
+  match List.assoc_opt dst rs.out_edges with
+  | Some w ->
+      rs.out_edges <-
+        (dst, w +. weight) :: List.remove_assoc dst rs.out_edges
+  | None ->
+      rs.out_edges <- (dst, weight) :: rs.out_edges;
+      rd.in_edges <- src :: rd.in_edges
+
+let remove_edge g src dst =
+  match Hashtbl.find_opt g.table src with
+  | None -> ()
+  | Some rs ->
+      if List.mem_assoc dst rs.out_edges then (
+        rs.out_edges <- List.remove_assoc dst rs.out_edges;
+        let rd = Hashtbl.find g.table dst in
+        rd.in_edges <- List.filter (fun s -> not (String.equal s src)) rd.in_edges)
+
+let mem_edge g src dst =
+  match Hashtbl.find_opt g.table src with
+  | Some r -> List.mem_assoc dst r.out_edges
+  | None -> false
+
+let nodes g = List.rev g.order
+let node_count g = Hashtbl.length g.table
+
+let record g id =
+  match Hashtbl.find_opt g.table id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "taskgraph: unknown node %s" id)
+
+let succs g id = List.rev_map fst (record g id).out_edges
+let preds g id = List.rev (record g id).in_edges
+let node_weight g id = (record g id).weight
+
+let edge_weight g src dst =
+  match List.assoc_opt dst (record g src).out_edges with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "taskgraph: no edge %s->%s" src dst)
+
+let edges g =
+  nodes g
+  |> List.concat_map (fun src ->
+         List.rev_map (fun (dst, w) -> (src, dst, w)) (record g src).out_edges)
+
+let edge_count g = List.length (edges g)
+let total_edge_weight g = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 (edges g)
+
+let of_lists ~nodes ~edges =
+  let g = create () in
+  List.iter (fun (id, w) -> add_node g ~weight:w id) nodes;
+  List.iter (fun (s, d, w) -> add_edge g ~weight:w s d) edges;
+  g
+
+let copy g =
+  of_lists ~nodes:(List.map (fun id -> (id, node_weight g id)) (nodes g)) ~edges:(edges g)
+
+let transpose g =
+  of_lists
+    ~nodes:(List.map (fun id -> (id, node_weight g id)) (nodes g))
+    ~edges:(List.map (fun (s, d, w) -> (d, s, w)) (edges g))
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d edges)" (node_count g) (edge_count g);
+  List.iter
+    (fun id -> Format.fprintf ppf "@,  %s (%.1f)" id (node_weight g id))
+    (nodes g);
+  List.iter
+    (fun (s, d, w) -> Format.fprintf ppf "@,  %s -> %s (%.1f)" s d w)
+    (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Weighted directed task graphs.
+
+    Nodes carry a computation cost, edges carry a communication cost
+    (the paper uses the amount of transferred data, §4.2.3).  The
+    structure is mutable during construction and then used read-only by
+    the algorithms. *)
+
+type node_id = string
+type t
+
+val create : unit -> t
+
+val add_node : t -> ?weight:float -> node_id -> unit
+(** Adds (or re-weights) a node.  Default weight 1.0. *)
+
+val add_edge : t -> ?weight:float -> node_id -> node_id -> unit
+(** Adds the edge, creating endpoints as needed; adding an existing
+    edge accumulates its weight.  Default weight 1.0. *)
+
+val remove_edge : t -> node_id -> node_id -> unit
+val mem_node : t -> node_id -> bool
+val mem_edge : t -> node_id -> node_id -> bool
+
+val nodes : t -> node_id list
+(** In insertion order. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val succs : t -> node_id -> node_id list
+val preds : t -> node_id -> node_id list
+val node_weight : t -> node_id -> float
+val edge_weight : t -> node_id -> node_id -> float
+
+val edges : t -> (node_id * node_id * float) list
+(** All edges as (src, dst, weight), in insertion order of sources. *)
+
+val total_edge_weight : t -> float
+
+val copy : t -> t
+val transpose : t -> t
+
+val of_lists :
+  nodes:(node_id * float) list -> edges:(node_id * node_id * float) list -> t
+
+val pp : Format.formatter -> t -> unit

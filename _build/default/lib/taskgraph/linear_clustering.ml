@@ -1,0 +1,46 @@
+let induced g keep =
+  let kept = Hashtbl.create 32 in
+  List.iter (fun id -> Hashtbl.replace kept id ()) keep;
+  Graph.of_lists
+    ~nodes:(List.filter_map
+              (fun id ->
+                if Hashtbl.mem kept id then Some (id, Graph.node_weight g id) else None)
+              (Graph.nodes g))
+    ~edges:(List.filter
+              (fun (s, d, _) -> Hashtbl.mem kept s && Hashtbl.mem kept d)
+              (Graph.edges g))
+
+let run g =
+  if not (Algo.is_acyclic g) then
+    (match Algo.find_cycle g with
+    | Some c -> raise (Algo.Cycle c)
+    | None -> raise (Algo.Cycle []));
+  let rec loop remaining clusters =
+    match remaining with
+    | [] -> List.rev clusters
+    | _ :: _ ->
+        let sub = induced g remaining in
+        let path, _ = Algo.critical_path sub in
+        let path = if path = [] then [ List.hd remaining ] else path in
+        let rest = List.filter (fun id -> not (List.mem id path)) remaining in
+        loop rest (path :: clusters)
+  in
+  Clustering.of_groups (loop (Graph.nodes g) [])
+
+let cluster_load g group =
+  List.fold_left (fun acc id -> acc +. Graph.node_weight g id) 0.0 group
+
+let run_bounded ~max_clusters g =
+  if max_clusters < 1 then invalid_arg "linear_clustering: max_clusters < 1";
+  let rec fold clustering =
+    if Clustering.cluster_count clustering <= max_clusters then clustering
+    else
+      let loads =
+        List.mapi (fun i group -> (i, cluster_load g group)) (Clustering.groups clustering)
+      in
+      let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) loads in
+      match sorted with
+      | (i, _) :: (j, _) :: _ -> fold (Clustering.merge clustering i j)
+      | [ _ ] | [] -> clustering
+  in
+  fold (run g)

@@ -1,0 +1,20 @@
+(** Linear clustering of a task graph, after Gerasoulis & Yang, "On the
+    Granularity and Clustering of Directed Acyclic Task Graphs", IEEE
+    TPDS 4(6), 1993 — the algorithm the paper's thread-allocation
+    optimization uses (§4.2.3).
+
+    The algorithm repeatedly finds the critical path (computation plus
+    communication) of the subgraph induced by still-unexamined nodes,
+    turns that path into one cluster (zeroing its internal edges), and
+    marks its nodes examined.  Parallel tasks end up in different
+    clusters; chains of heavily-communicating tasks share one. *)
+
+val run : Graph.t -> Clustering.t
+(** @raise Algo.Cycle when the graph is not a DAG.  The result is a
+    linear clustering ({!Clustering.is_linear}) and the whole critical
+    path of the graph lands in the first cluster. *)
+
+val run_bounded : max_clusters:int -> Graph.t -> Clustering.t
+(** Like {!run}, then folds the smallest-load clusters together until
+    at most [max_clusters] remain (for platforms with a fixed CPU
+    count).  The result is generally no longer linear. *)

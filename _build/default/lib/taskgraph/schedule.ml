@@ -1,0 +1,133 @@
+type placement = {
+  task : Graph.node_id;
+  processor : int;
+  start : float;
+  finish : float;
+}
+
+type t = {
+  placements : placement list;
+  makespan : float;
+  processor_load : float array;
+}
+
+let hlfet ~processors g =
+  if processors < 1 then invalid_arg "schedule: processors < 1";
+  let blevel = Algo.bottom_level g in
+  let finish = Hashtbl.create 32 in
+  let proc_of = Hashtbl.create 32 in
+  let proc_free = Array.make processors 0.0 in
+  let load = Array.make processors 0.0 in
+  let placed = Hashtbl.create 32 in
+  let placements = ref [] in
+  let n = Graph.node_count g in
+  (* Raises through bottom_level when the graph is cyclic. *)
+  for _ = 1 to n do
+    let ready =
+      Graph.nodes g
+      |> List.filter (fun v ->
+             (not (Hashtbl.mem placed v))
+             && List.for_all (Hashtbl.mem placed) (Graph.preds g v))
+    in
+    let task =
+      match
+        List.sort (fun a b -> Float.compare (blevel b) (blevel a)) ready
+      with
+      | t :: _ -> t
+      | [] -> failwith "schedule: no ready task (cycle?)"
+    in
+    (* Earliest finish over all processors, communication charged
+       across processor boundaries. *)
+    let candidate p =
+      let data_ready =
+        List.fold_left
+          (fun acc pred ->
+            let comm =
+              if Hashtbl.find proc_of pred = p then 0.0 else Graph.edge_weight g pred task
+            in
+            Float.max acc (Hashtbl.find finish pred +. comm))
+          0.0 (Graph.preds g task)
+      in
+      Float.max proc_free.(p) data_ready
+    in
+    let best_p = ref 0 and best_start = ref (candidate 0) in
+    for p = 1 to processors - 1 do
+      let s = candidate p in
+      if s < !best_start then (
+        best_p := p;
+        best_start := s)
+    done;
+    let p = !best_p in
+    let start = !best_start in
+    let stop = start +. Graph.node_weight g task in
+    proc_free.(p) <- stop;
+    load.(p) <- load.(p) +. Graph.node_weight g task;
+    Hashtbl.replace finish task stop;
+    Hashtbl.replace proc_of task p;
+    Hashtbl.replace placed task ();
+    placements := { task; processor = p; start; finish = stop } :: !placements
+  done;
+  let placements =
+    List.sort (fun a b -> Float.compare a.start b.start) !placements
+  in
+  let makespan = List.fold_left (fun acc pl -> Float.max acc pl.finish) 0.0 placements in
+  { placements; makespan; processor_load = load }
+
+let fold_clusters ~processors g clustering =
+  let rec fold clustering =
+    if Clustering.cluster_count clustering <= processors then clustering
+    else
+      let loads =
+        List.mapi
+          (fun i group ->
+            (i, List.fold_left (fun acc v -> acc +. Graph.node_weight g v) 0.0 group))
+          (Clustering.groups clustering)
+      in
+      match List.sort (fun (_, a) (_, b) -> Float.compare a b) loads with
+      | (i, _) :: (j, _) :: _ -> fold (Clustering.merge clustering i j)
+      | [ _ ] | [] -> clustering
+  in
+  fold clustering
+
+let of_clustering ~processors g clustering =
+  if processors < 1 then invalid_arg "schedule: processors < 1";
+  let clustering = fold_clusters ~processors g clustering in
+  (* Each (folded) cluster is one processor; reuse the cluster
+     scheduler and renumber densely. *)
+  let scheduled = Clustering.schedule g clustering in
+  let load = Array.make processors 0.0 in
+  let placements =
+    List.map
+      (fun (s : Clustering.scheduled) ->
+        let p = s.Clustering.processor mod processors in
+        load.(p) <- load.(p) +. (s.Clustering.finish -. s.Clustering.start);
+        {
+          task = s.Clustering.task;
+          processor = p;
+          start = s.Clustering.start;
+          finish = s.Clustering.finish;
+        })
+      scheduled
+    |> List.sort (fun a b -> Float.compare a.start b.start)
+  in
+  let makespan = List.fold_left (fun acc pl -> Float.max acc pl.finish) 0.0 placements in
+  { placements; makespan; processor_load = load }
+
+let to_clustering t =
+  let buckets = Hashtbl.create 8 in
+  List.iter
+    (fun pl ->
+      Hashtbl.replace buckets pl.processor
+        (pl.task :: Option.value (Hashtbl.find_opt buckets pl.processor) ~default:[]))
+    t.placements;
+  Hashtbl.fold (fun _ tasks acc -> List.rev tasks :: acc) buckets []
+  |> Clustering.of_groups
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule (makespan %.1f)" t.makespan;
+  List.iter
+    (fun pl ->
+      Format.fprintf ppf "@,  %-12s p%d  %.1f - %.1f" pl.task pl.processor pl.start
+        pl.finish)
+    t.placements;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** List scheduling onto a bounded number of processors.
+
+    Clustering (the paper's §4.2.3 allocation) assumes one processor
+    per cluster; real platforms fix the processor count.  This module
+    provides the classic HLFET heuristic (Highest Level First with
+    Estimated Times: ready tasks by descending bottom level, earliest-
+    available processor wins) both as a standalone mapper and as a
+    post-pass that schedules whole clusters, so clustering quality can
+    be compared fairly on a fixed platform. *)
+
+type placement = {
+  task : Graph.node_id;
+  processor : int;
+  start : float;
+  finish : float;
+}
+
+type t = {
+  placements : placement list;  (** in start-time order *)
+  makespan : float;
+  processor_load : float array;
+}
+
+val hlfet : processors:int -> Graph.t -> t
+(** Schedule individual tasks: communication cost is charged whenever
+    producer and consumer land on different processors.
+    @raise Algo.Cycle on a cyclic graph,
+    [Invalid_argument] when [processors < 1]. *)
+
+val of_clustering : processors:int -> Graph.t -> Clustering.t -> t
+(** Keep each cluster whole: clusters are assigned to processors by
+    HLFET over the cluster graph (folding the smallest-load clusters
+    together when there are more clusters than processors), then tasks
+    run as in {!Clustering.schedule}. *)
+
+val to_clustering : t -> Clustering.t
+(** The processor assignment as a clustering (for the quality
+    metrics). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/transform/engine.ml: Hashtbl List Option Umlfront_metamodel

@@ -1,0 +1,1 @@
+lib/transform/engine.mli: Umlfront_metamodel

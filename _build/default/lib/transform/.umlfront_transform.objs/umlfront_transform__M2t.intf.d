@@ -1,0 +1,1 @@
+lib/transform/m2t.mli:

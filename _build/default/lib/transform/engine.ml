@@ -1,0 +1,69 @@
+module Mm = Umlfront_metamodel.Mmodel
+module Meta = Umlfront_metamodel.Meta
+module Trace = Umlfront_metamodel.Trace
+
+type context = { source : Mm.t; target : Mm.t; trace : Trace.t }
+
+let resolve ?rule ctx obj =
+  match Trace.targets_of ?rule ctx.trace (Mm.id obj) with
+  | [] -> None
+  | id :: _ -> Mm.find ctx.target id
+
+let resolve_all ?rule ctx obj =
+  Trace.targets_of ?rule ctx.trace (Mm.id obj) |> List.filter_map (Mm.find ctx.target)
+
+type rule = {
+  rule_name : string;
+  source_class : string;
+  guard : context -> Mm.obj -> bool;
+  produce : context -> Mm.obj -> Mm.obj list;
+  bind : context -> Mm.obj -> Mm.obj list -> unit;
+}
+
+let rule ?(guard = fun _ _ -> true) ?(bind = fun _ _ _ -> ()) ~name ~source produce =
+  { rule_name = name; source_class = source; guard; produce; bind }
+
+type result = {
+  output : Mm.t;
+  links : Trace.t;
+  applied : (string * int) list;
+}
+
+let run ~rules ~source ~target_metamodel =
+  let ctx =
+    { source; target = Mm.create target_metamodel; trace = Trace.create () }
+  in
+  let counts = Hashtbl.create 8 in
+  let bump name =
+    Hashtbl.replace counts name (1 + Option.value (Hashtbl.find_opt counts name) ~default:0)
+  in
+  let matches r obj =
+    Meta.is_subclass_of (Mm.metamodel source) ~sub:(Mm.class_of obj)
+      ~super:r.source_class
+    && r.guard ctx obj
+  in
+  (* Produce phase. *)
+  let produced =
+    List.concat_map
+      (fun r ->
+        Mm.objects source
+        |> List.filter_map (fun obj ->
+               if matches r obj then (
+                 let targets = r.produce ctx obj in
+                 Trace.record ctx.trace ~rule:r.rule_name ~sources:[ Mm.id obj ]
+                   ~targets:(List.map Mm.id targets);
+                 bump r.rule_name;
+                 Some (r, obj, targets))
+               else None))
+      rules
+  in
+  (* Bind phase. *)
+  List.iter (fun (r, obj, targets) -> r.bind ctx obj targets) produced;
+  {
+    output = ctx.target;
+    links = ctx.trace;
+    applied =
+      List.filter_map
+        (fun r -> Option.map (fun n -> (r.rule_name, n)) (Hashtbl.find_opt counts r.rule_name))
+        rules;
+  }

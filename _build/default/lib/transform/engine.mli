@@ -1,0 +1,65 @@
+(** A small declarative model-to-model transformation engine over
+    {!Umlfront_metamodel} dynamic models — the role smartQVT/ATL play in
+    the paper's mapping flow (Fig. 2): rules match source metaclasses,
+    produce target elements, and a second binding phase resolves
+    cross-references through the trace.
+
+    Execution model (ATL-like):
+    + {e produce} phase: every rule is applied to every source object
+      whose class conforms to the rule's source class and whose guard
+      holds; created target objects are recorded in the trace.
+    + {e bind} phase: rules revisit each (source, targets) match and may
+      set attributes/references on targets, resolving source objects to
+      their targets via {!resolve}. *)
+
+type context = {
+  source : Umlfront_metamodel.Mmodel.t;
+  target : Umlfront_metamodel.Mmodel.t;
+  trace : Umlfront_metamodel.Trace.t;
+}
+
+val resolve :
+  ?rule:string -> context -> Umlfront_metamodel.Mmodel.obj ->
+  Umlfront_metamodel.Mmodel.obj option
+(** First target produced from the given source object. *)
+
+val resolve_all :
+  ?rule:string -> context -> Umlfront_metamodel.Mmodel.obj ->
+  Umlfront_metamodel.Mmodel.obj list
+
+type rule = {
+  rule_name : string;
+  source_class : string;
+  guard : context -> Umlfront_metamodel.Mmodel.obj -> bool;
+  produce :
+    context -> Umlfront_metamodel.Mmodel.obj -> Umlfront_metamodel.Mmodel.obj list;
+  bind :
+    context ->
+    Umlfront_metamodel.Mmodel.obj ->
+    Umlfront_metamodel.Mmodel.obj list ->
+    unit;
+}
+
+val rule :
+  ?guard:(context -> Umlfront_metamodel.Mmodel.obj -> bool) ->
+  ?bind:
+    (context ->
+    Umlfront_metamodel.Mmodel.obj ->
+    Umlfront_metamodel.Mmodel.obj list ->
+    unit) ->
+  name:string ->
+  source:string ->
+  (context -> Umlfront_metamodel.Mmodel.obj -> Umlfront_metamodel.Mmodel.obj list) ->
+  rule
+
+type result = {
+  output : Umlfront_metamodel.Mmodel.t;
+  links : Umlfront_metamodel.Trace.t;
+  applied : (string * int) list;  (** rule name -> match count *)
+}
+
+val run :
+  rules:rule list ->
+  source:Umlfront_metamodel.Mmodel.t ->
+  target_metamodel:Umlfront_metamodel.Meta.t ->
+  result

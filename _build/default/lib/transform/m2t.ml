@@ -1,0 +1,28 @@
+type t = { buf : Buffer.t; indent_step : int; mutable level : int }
+
+let create ?(indent_step = 2) () = { buf = Buffer.create 1024; indent_step; level = 0 }
+
+let pad t = Buffer.add_string t.buf (String.make (t.level * t.indent_step) ' ')
+
+let line t fmt =
+  Printf.ksprintf
+    (fun s ->
+      pad t;
+      Buffer.add_string t.buf s;
+      Buffer.add_char t.buf '\n')
+    fmt
+
+let blank t = Buffer.add_char t.buf '\n'
+let raw t s = Buffer.add_string t.buf s
+
+let indented t body =
+  t.level <- t.level + 1;
+  body ();
+  t.level <- t.level - 1
+
+let block t ~opener ~closer body =
+  line t "%s" opener;
+  indented t body;
+  line t "%s" closer
+
+let contents t = Buffer.contents t.buf

@@ -1,0 +1,19 @@
+(** Model-to-text support: an indentation-tracking emitter used by the
+    code generators (step 4 of the mapping flow produces text from the
+    optimized model). *)
+
+type t
+
+val create : ?indent_step:int -> unit -> t
+val line : t -> ('a, unit, string, unit) format4 -> 'a
+val blank : t -> unit
+val raw : t -> string -> unit
+(** Append without newline or indentation. *)
+
+val indented : t -> (unit -> unit) -> unit
+(** Run the thunk with one extra indent level. *)
+
+val block : t -> opener:string -> closer:string -> (unit -> unit) -> unit
+(** [line opener]; indented body; [line closer]. *)
+
+val contents : t -> string

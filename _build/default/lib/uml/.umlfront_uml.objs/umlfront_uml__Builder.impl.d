@@ -1,0 +1,1 @@
+lib/uml/builder.ml: Activity Classifier Deployment List Model Operation Printf Sequence Statechart String

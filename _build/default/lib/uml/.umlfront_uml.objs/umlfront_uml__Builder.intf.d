@@ -1,0 +1,1 @@
+lib/uml/builder.mli: Activity Classifier Model Operation Sequence Statechart

@@ -1,0 +1,1 @@
+lib/uml/classifier.ml: Format List Operation Printf Stereotype String

@@ -1,0 +1,1 @@
+lib/uml/classifier.mli: Format Operation Stereotype

@@ -1,0 +1,1 @@
+lib/uml/datatype.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/uml/datatype.mli: Format

@@ -1,0 +1,1 @@
+lib/uml/deployment.ml: Format List Stereotype String

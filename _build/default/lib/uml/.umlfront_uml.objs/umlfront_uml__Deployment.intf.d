@@ -1,0 +1,1 @@
+lib/uml/deployment.mli: Format Stereotype

@@ -1,0 +1,1 @@
+lib/uml/metrics.ml: Buffer Classifier Hashtbl List Model Option Printf Sequence

@@ -1,0 +1,1 @@
+lib/uml/model.ml: Activity Classifier Deployment Format List Option Sequence Statechart String

@@ -1,0 +1,1 @@
+lib/uml/model.mli: Activity Classifier Deployment Format Operation Sequence Statechart

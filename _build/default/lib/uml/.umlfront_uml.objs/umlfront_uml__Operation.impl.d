@@ -1,0 +1,1 @@
+lib/uml/operation.ml: Datatype Format List Option Printf

@@ -1,0 +1,1 @@
+lib/uml/operation.mli: Datatype Format

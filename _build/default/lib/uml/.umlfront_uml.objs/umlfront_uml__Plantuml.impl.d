@@ -1,0 +1,1 @@
+lib/uml/plantuml.ml: Activity Buffer Classifier Deployment Filename List Model Operation Option Printf Sequence Statechart Stereotype String

@@ -1,0 +1,1 @@
+lib/uml/plantuml.mli: Activity Deployment Model Sequence Statechart

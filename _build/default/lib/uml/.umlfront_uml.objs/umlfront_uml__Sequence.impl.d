@@ -1,0 +1,1 @@
+lib/uml/sequence.ml: Datatype Format List String

@@ -1,0 +1,1 @@
+lib/uml/sequence.mli: Datatype Format

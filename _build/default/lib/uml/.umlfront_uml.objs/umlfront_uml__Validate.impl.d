@@ -1,0 +1,1 @@
+lib/uml/validate.ml: Activity Classifier Deployment Format Hashtbl List Model Operation Option Printf Sequence Statechart String

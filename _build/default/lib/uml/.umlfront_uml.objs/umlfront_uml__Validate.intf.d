@@ -1,0 +1,1 @@
+lib/uml/validate.mli: Format Model

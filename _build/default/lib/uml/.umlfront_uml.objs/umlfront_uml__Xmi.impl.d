@@ -1,0 +1,1 @@
+lib/uml/xmi.ml: Activity Classifier Datatype Deployment List Model Operation Option Printf Sequence Statechart Stereotype String Umlfront_xml

@@ -1,0 +1,1 @@
+lib/uml/xmi.mli: Model Umlfront_xml

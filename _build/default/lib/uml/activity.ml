@@ -1,0 +1,175 @@
+type node =
+  | Initial of string
+  | Final of string
+  | Action of action
+  | Fork of string
+  | Join of string
+  | Decision of string
+  | Merge of string
+
+and action = {
+  act_name : string;
+  act_target : string;
+  act_operation : string;
+  act_args : Sequence.arg list;
+  act_result : Sequence.arg option;
+}
+
+type edge = { edge_source : string; edge_target : string; edge_guard : string option }
+
+type t = {
+  act_diagram_name : string;
+  act_owner : string;
+  act_nodes : node list;
+  act_edges : edge list;
+}
+
+let node_name = function
+  | Initial n | Final n | Fork n | Join n | Decision n | Merge n -> n
+  | Action a -> a.act_name
+
+let action ?(args = []) ?result ~name ~target operation =
+  Action
+    {
+      act_name = name;
+      act_target = target;
+      act_operation = operation;
+      act_args = args;
+      act_result = result;
+    }
+
+let edge ?guard ~source ~target () =
+  { edge_source = source; edge_target = target; edge_guard = guard }
+
+let make ~name ~owner act_nodes act_edges =
+  { act_diagram_name = name; act_owner = owner; act_nodes; act_edges }
+
+type issue = { where : string; what : string }
+
+let successors t name =
+  t.act_edges
+  |> List.filter_map (fun e ->
+         if String.equal e.edge_source name then Some e.edge_target else None)
+
+let check t =
+  let issues = ref [] in
+  let blame where what = issues := { where; what } :: !issues in
+  let names = List.map node_name t.act_nodes in
+  let initials =
+    List.filter (function Initial _ -> true | _ -> false) t.act_nodes
+  in
+  if List.length initials <> 1 then
+    blame t.act_diagram_name
+      (Printf.sprintf "expected exactly one initial node, found %d" (List.length initials));
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then blame n "duplicate node name";
+      Hashtbl.replace seen n ())
+    names;
+  List.iter
+    (fun e ->
+      if not (List.mem e.edge_source names) then
+        blame e.edge_source "edge source is not a declared node";
+      if not (List.mem e.edge_target names) then
+        blame e.edge_target "edge target is not a declared node")
+    t.act_edges;
+  (* Reachability of actions from the initial node. *)
+  (match initials with
+  | [ init ] ->
+      let reached = Hashtbl.create 8 in
+      let rec visit n =
+        if not (Hashtbl.mem reached n) then (
+          Hashtbl.replace reached n ();
+          List.iter visit (successors t n))
+      in
+      visit (node_name init);
+      List.iter
+        (fun node ->
+          match node with
+          | Action a when not (Hashtbl.mem reached a.act_name) ->
+              blame a.act_name "action unreachable from the initial node"
+          | _ -> ())
+        t.act_nodes
+  | _ -> ());
+  (* Control-flow acyclicity (DFS with grey marking). *)
+  let color = Hashtbl.create 8 in
+  let rec dfs n =
+    match Hashtbl.find_opt color n with
+    | Some `Grey -> blame n "control-flow cycle"
+    | Some `Black -> ()
+    | None ->
+        Hashtbl.replace color n `Grey;
+        List.iter dfs (successors t n);
+        Hashtbl.replace color n `Black
+  in
+  List.iter (fun node -> dfs (node_name node)) t.act_nodes;
+  List.rev !issues
+
+let to_messages t =
+  (match check t with
+  | [] -> ()
+  | i :: _ ->
+      invalid_arg
+        (Printf.sprintf "activity %s not well-formed: %s: %s" t.act_diagram_name i.where
+           i.what));
+  (* Kahn topological sort, preferring declaration order so the
+     emitted call sequence is stable. *)
+  let indegree = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace indegree (node_name n) 0) t.act_nodes;
+  List.iter
+    (fun e ->
+      Hashtbl.replace indegree e.edge_target
+        (1 + Option.value (Hashtbl.find_opt indegree e.edge_target) ~default:0))
+    t.act_edges;
+  let order = ref [] in
+  let remaining = ref (List.map node_name t.act_nodes) in
+  while !remaining <> [] do
+    match
+      List.find_opt (fun n -> Hashtbl.find indegree n = 0) !remaining
+    with
+    | None -> remaining := []  (* cycle: already reported by check *)
+    | Some n ->
+        order := n :: !order;
+        remaining := List.filter (fun m -> not (String.equal m n)) !remaining;
+        List.iter
+          (fun e ->
+            if String.equal e.edge_source n then
+              Hashtbl.replace indegree e.edge_target (Hashtbl.find indegree e.edge_target - 1))
+          t.act_edges
+  done;
+  List.rev !order
+  |> List.filter_map (fun name ->
+         t.act_nodes
+         |> List.find_opt (fun n -> String.equal (node_name n) name)
+         |> function
+         | Some (Action a) ->
+             Some
+               (Sequence.message ~args:a.act_args ?result:a.act_result ~from:t.act_owner
+                  ~target:a.act_target a.act_operation)
+         | Some (Initial _ | Final _ | Fork _ | Join _ | Decision _ | Merge _) | None ->
+             None)
+
+let to_sequence activities =
+  let name =
+    match activities with
+    | [] -> "activities"
+    | first :: _ -> first.act_diagram_name ^ "_merged"
+  in
+  Sequence.make name (List.concat_map to_messages activities)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>activity %s (thread %s)" t.act_diagram_name t.act_owner;
+  List.iter
+    (fun n ->
+      match n with
+      | Action a ->
+          Format.fprintf ppf "@,  action %s: %s.%s" a.act_name a.act_target a.act_operation
+      | other -> Format.fprintf ppf "@,  node %s" (node_name other))
+    t.act_nodes;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  %s -> %s%s" e.edge_source e.edge_target
+        (match e.edge_guard with Some g -> " [" ^ g ^ "]" | None -> ""))
+    t.act_edges;
+  Format.fprintf ppf "@]"

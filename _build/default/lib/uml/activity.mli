@@ -1,0 +1,68 @@
+(** UML activity diagrams — the alternative behaviour notation the
+    paper names as future work (§6: "other behavior diagrams could also
+    be used by a designer ... such as activity diagrams").
+
+    An activity describes one thread's behaviour as a control-flow
+    graph of {e call actions}; the mapping consumes it by linearizing
+    the actions into the same call sequence a sequence diagram would
+    give (data links still come from token reuse). *)
+
+type node =
+  | Initial of string
+  | Final of string
+  | Action of action
+  | Fork of string
+  | Join of string
+  | Decision of string
+  | Merge of string
+
+and action = {
+  act_name : string;
+  act_target : string;  (** callee object instance *)
+  act_operation : string;
+  act_args : Sequence.arg list;
+  act_result : Sequence.arg option;
+}
+
+type edge = { edge_source : string; edge_target : string; edge_guard : string option }
+
+type t = {
+  act_diagram_name : string;
+  act_owner : string;  (** the thread whose behaviour this is *)
+  act_nodes : node list;
+  act_edges : edge list;
+}
+
+val node_name : node -> string
+
+val action :
+  ?args:Sequence.arg list ->
+  ?result:Sequence.arg ->
+  name:string ->
+  target:string ->
+  string ->
+  node
+
+val edge : ?guard:string -> source:string -> target:string -> unit -> edge
+
+val make : name:string -> owner:string -> node list -> edge list -> t
+
+type issue = { where : string; what : string }
+
+val check : t -> issue list
+(** Well-formedness: exactly one initial node, edges reference declared
+    nodes, every action reachable from the initial node, control flow
+    acyclic (loops in behaviour are expressed by data feedback, not by
+    control-flow back edges). *)
+
+val to_messages : t -> Sequence.message list
+(** Linearize: actions in a topological order of the control-flow graph
+    (stable with respect to declaration order), each becoming a call
+    message from the owner thread.
+    @raise Invalid_argument when {!check} reports issues. *)
+
+val to_sequence : t list -> Sequence.t
+(** Merge several threads' activities into one synthetic sequence
+    diagram consumable by the mapping. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+type t = {
+  name : string;
+  mutable classes : Classifier.cls list;  (* reverse order *)
+  mutable instances : Classifier.instance list;
+  mutable cpus : string list;
+  mutable bus : string option;
+  mutable allocation : (string * string) list;
+  mutable diagrams : (string * Sequence.message list) list;  (* name, reverse msgs *)
+  mutable current_sd : string;
+  mutable statecharts : Statechart.t list;
+  mutable activities : Activity.t list;
+}
+
+let create name =
+  {
+    name;
+    classes = [];
+    instances = [];
+    cpus = [];
+    bus = None;
+    allocation = [];
+    diagrams = [];
+    current_sd = "main";
+    statecharts = [];
+    activities = [];
+  }
+
+let find_class b name =
+  List.find_opt (fun c -> String.equal c.Classifier.cls_name name) b.classes
+
+let add_class b c =
+  match find_class b c.Classifier.cls_name with
+  | Some _ -> invalid_arg (Printf.sprintf "builder: duplicate class %s" c.Classifier.cls_name)
+  | None -> b.classes <- c :: b.classes
+
+let add_instance b inst_name inst_class =
+  if List.exists (fun i -> String.equal i.Classifier.inst_name inst_name) b.instances then
+    invalid_arg (Printf.sprintf "builder: duplicate object %s" inst_name);
+  b.instances <- { Classifier.inst_name; inst_class } :: b.instances
+
+let thread b name =
+  let cls_name = name ^ "_cls" in
+  add_class b (Classifier.cls Classifier.Thread cls_name);
+  add_instance b name cls_name
+
+let passive_object b ?(operations = []) ~cls name =
+  (match find_class b cls with
+  | Some existing ->
+      if existing.Classifier.cls_kind <> Classifier.Passive then
+        invalid_arg (Printf.sprintf "builder: class %s is not passive" cls)
+  | None -> add_class b (Classifier.cls ~operations Classifier.Passive cls));
+  add_instance b name cls
+
+let platform b name =
+  let cls_name = name ^ "_cls" in
+  add_class b (Classifier.cls Classifier.Platform cls_name);
+  add_instance b name cls_name
+
+let io_device b ?(operations = []) name =
+  let cls_name = name ^ "_cls" in
+  add_class b (Classifier.cls ~operations Classifier.Io_device cls_name);
+  add_instance b name cls_name
+
+let operation b ~cls op =
+  match find_class b cls with
+  | None -> invalid_arg (Printf.sprintf "builder: unknown class %s" cls)
+  | Some c ->
+      let updated =
+        { c with Classifier.cls_operations = c.Classifier.cls_operations @ [ op ] }
+      in
+      b.classes <-
+        List.map
+          (fun k -> if String.equal k.Classifier.cls_name cls then updated else k)
+          b.classes
+
+let cpu b name = if not (List.mem name b.cpus) then b.cpus <- b.cpus @ [ name ]
+let bus b name = b.bus <- Some name
+
+let allocate b ~thread ~cpu:node =
+  if not (List.mem node b.cpus) then
+    invalid_arg (Printf.sprintf "builder: unknown cpu %s" node);
+  b.allocation <- b.allocation @ [ (thread, node) ]
+
+let sequence b name =
+  if not (List.mem_assoc name b.diagrams) then b.diagrams <- (name, []) :: b.diagrams;
+  b.current_sd <- name
+
+let class_of_instance b inst =
+  match List.find_opt (fun i -> String.equal i.Classifier.inst_name inst) b.instances with
+  | Some i -> find_class b i.Classifier.inst_class
+  | None -> None
+
+let infer_operation op_name args result outs =
+  let params =
+    List.map
+      (fun (a : Sequence.arg) ->
+        Operation.param ~dir:Operation.In a.Sequence.arg_name a.Sequence.arg_type)
+      args
+    @ (match result with
+      | Some (r : Sequence.arg) ->
+          [ Operation.param ~dir:Operation.Return "result" r.Sequence.arg_type ]
+      | None -> [])
+    @ List.map
+        (fun (o : Sequence.arg) ->
+          Operation.param ~dir:Operation.Out o.Sequence.arg_name o.Sequence.arg_type)
+        outs
+  in
+  Operation.make ~params op_name
+
+let call b ?sd ?(args = []) ?result ?(outs = []) ~from ~target op_name =
+  let sd_name = match sd with Some s -> sequence b s; s | None -> b.current_sd in
+  if not (List.mem_assoc sd_name b.diagrams) then b.diagrams <- (sd_name, []) :: b.diagrams;
+  (* Register the formal operation on the callee class when missing. *)
+  (match class_of_instance b target with
+  | Some c when Classifier.find_operation c op_name = None ->
+      operation b ~cls:c.Classifier.cls_name (infer_operation op_name args result outs)
+  | Some _ | None -> ());
+  let msg = Sequence.message ~args ?result ~outs ~from ~target op_name in
+  b.diagrams <-
+    List.map
+      (fun (n, msgs) -> if String.equal n sd_name then (n, msg :: msgs) else (n, msgs))
+      b.diagrams
+
+let statechart b sc = b.statecharts <- b.statecharts @ [ sc ]
+
+let activity b act =
+  List.iter
+    (fun node ->
+      match node with
+      | Activity.Action a -> (
+          match class_of_instance b a.Activity.act_target with
+          | Some c when Classifier.find_operation c a.Activity.act_operation = None ->
+              operation b ~cls:c.Classifier.cls_name
+                (infer_operation a.Activity.act_operation a.Activity.act_args
+                   a.Activity.act_result [])
+          | Some _ | None -> ())
+      | Activity.Initial _ | Activity.Final _ | Activity.Fork _ | Activity.Join _
+      | Activity.Decision _ | Activity.Merge _ ->
+          ())
+    act.Activity.act_nodes;
+  b.activities <- b.activities @ [ act ]
+
+let finish b =
+  let deployments =
+    if b.cpus = [] then []
+    else
+      [
+        Deployment.make ?bus:b.bus ~name:(b.name ^ "_deployment")
+          ~nodes:(List.map Deployment.node b.cpus)
+          ~allocation:b.allocation ();
+      ]
+  in
+  let sequences =
+    List.rev_map (fun (n, msgs) -> Sequence.make n (List.rev msgs)) b.diagrams
+  in
+  Model.make ~classes:(List.rev b.classes) ~instances:(List.rev b.instances)
+    ~deployments ~sequences ~activities:b.activities ~statecharts:b.statecharts b.name

@@ -1,0 +1,68 @@
+(** Mutable builder for assembling UML models programmatically (the
+    role MagicDraw plays in the paper's flow: step 1 of Fig. 2). *)
+
+type t
+
+val create : string -> t
+
+(** {1 Classes and objects} *)
+
+val add_class : t -> Classifier.cls -> unit
+
+val thread : t -> string -> unit
+(** Declares a thread class [<name>_cls] and an active instance
+    [name] in one step. *)
+
+val passive_object :
+  t -> ?operations:Operation.t list -> cls:string -> string -> unit
+(** Declares (or reuses) a passive class and an instance of it. *)
+
+val platform : t -> string -> unit
+(** Declares the special Platform object standing for the block
+    library. *)
+
+val io_device : t -> ?operations:Operation.t list -> string -> unit
+
+val operation : t -> cls:string -> Operation.t -> unit
+(** Adds an operation to an already-declared class. *)
+
+(** {1 Deployment} *)
+
+val cpu : t -> string -> unit
+val bus : t -> string -> unit
+val allocate : t -> thread:string -> cpu:string -> unit
+
+(** {1 Sequence diagrams} *)
+
+val sequence : t -> string -> unit
+(** Opens a sequence diagram; subsequent {!call}s append to it. *)
+
+val call :
+  t ->
+  ?sd:string ->
+  ?args:Sequence.arg list ->
+  ?result:Sequence.arg ->
+  ?outs:Sequence.arg list ->
+  from:string ->
+  target:string ->
+  string ->
+  unit
+(** Appends a message.  When the callee class does not yet declare the
+    operation, a formal operation is inferred from the actual
+    arguments ([In] parameters) and the result ([Return]). *)
+
+(** {1 Activity diagrams} *)
+
+val activity : t -> Activity.t -> unit
+(** Registers an activity diagram; formal operations are inferred on
+    the callee classes of its actions, as {!call} does. *)
+
+(** {1 State machines} *)
+
+val statechart : t -> Statechart.t -> unit
+
+(** {1 Finishing} *)
+
+val finish : t -> Model.t
+(** Assemble the immutable model.  Deployment is emitted only when at
+    least one CPU was declared. *)

@@ -1,0 +1,49 @@
+type kind = Thread | Passive | Platform | Io_device
+
+type cls = {
+  cls_name : string;
+  cls_kind : kind;
+  cls_stereotypes : Stereotype.t list;
+  cls_operations : Operation.t list;
+}
+
+type instance = { inst_name : string; inst_class : string }
+
+let implied_stereotypes = function
+  | Thread -> [ Stereotype.Sa_sched_res ]
+  | Io_device -> [ Stereotype.Io ]
+  | Passive | Platform -> []
+
+let cls ?(stereotypes = []) ?(operations = []) kind name =
+  let implied = implied_stereotypes kind in
+  let extra = List.filter (fun s -> not (List.mem s implied)) stereotypes in
+  {
+    cls_name = name;
+    cls_kind = kind;
+    cls_stereotypes = implied @ extra;
+    cls_operations = operations;
+  }
+
+let instance name c = { inst_name = name; inst_class = c.cls_name }
+
+let find_operation c name =
+  List.find_opt (fun op -> String.equal op.Operation.op_name name) c.cls_operations
+
+let kind_to_string = function
+  | Thread -> "thread"
+  | Passive -> "passive"
+  | Platform -> "platform"
+  | Io_device -> "io"
+
+let kind_of_string = function
+  | "thread" -> Thread
+  | "passive" -> Passive
+  | "platform" -> Platform
+  | "io" -> Io_device
+  | s -> invalid_arg (Printf.sprintf "Classifier.kind_of_string: %S" s)
+
+let pp_cls ppf c =
+  Format.fprintf ppf "@[<v>class %s (%s)" c.cls_name (kind_to_string c.cls_kind);
+  List.iter (fun s -> Format.fprintf ppf " %a" Stereotype.pp s) c.cls_stereotypes;
+  List.iter (fun op -> Format.fprintf ppf "@,  %a" Operation.pp op) c.cls_operations;
+  Format.fprintf ppf "@]"

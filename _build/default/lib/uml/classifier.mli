@@ -1,0 +1,35 @@
+(** Classes and object instances of the UML model.
+
+    The mapping distinguishes four object kinds (paper §4.1):
+    - {e threads}: active objects stereotyped [<<SASchedRes>>];
+    - {e passive} objects whose methods become S-Function blocks;
+    - the special {e Platform} object standing for the Simulink block
+      library (calls to it instantiate predefined blocks);
+    - {e IO} objects stereotyped [<<IO>>] whose get*/set* methods become
+      system-level ports. *)
+
+type kind = Thread | Passive | Platform | Io_device
+
+type cls = {
+  cls_name : string;
+  cls_kind : kind;
+  cls_stereotypes : Stereotype.t list;
+  cls_operations : Operation.t list;
+}
+
+type instance = { inst_name : string; inst_class : string }
+
+val cls :
+  ?stereotypes:Stereotype.t list ->
+  ?operations:Operation.t list ->
+  kind ->
+  string ->
+  cls
+(** Builds a class; kind-implied stereotypes ([<<SASchedRes>>] for
+    threads, [<<IO>>] for IO devices) are added automatically. *)
+
+val instance : string -> cls -> instance
+val find_operation : cls -> string -> Operation.t option
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind
+val pp_cls : Format.formatter -> cls -> unit

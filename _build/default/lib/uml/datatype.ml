@@ -1,0 +1,52 @@
+type t =
+  | D_void
+  | D_bool
+  | D_int
+  | D_float
+  | D_array of t * int
+  | D_named of string * int
+
+let rec size_bytes = function
+  | D_void -> 0
+  | D_bool -> 1
+  | D_int -> 4
+  | D_float -> 8
+  | D_array (elt, n) -> n * size_bytes elt
+  | D_named (_, size) -> size
+
+let rec to_string = function
+  | D_void -> "void"
+  | D_bool -> "bool"
+  | D_int -> "int"
+  | D_float -> "float"
+  | D_array (elt, n) -> Printf.sprintf "%s[%d]" (to_string elt) n
+  | D_named (name, size) -> Printf.sprintf "%s:%d" name size
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Datatype.of_string: %S" s) in
+  let rec parse s =
+    match s with
+    | "void" -> D_void
+    | "bool" -> D_bool
+    | "int" -> D_int
+    | "float" -> D_float
+    | _ -> (
+        if String.length s > 0 && s.[String.length s - 1] = ']' then
+          match String.rindex_opt s '[' with
+          | Some i ->
+              let elt = parse (String.sub s 0 i) in
+              let n = String.sub s (i + 1) (String.length s - i - 2) in
+              (try D_array (elt, int_of_string n) with Failure _ -> fail ())
+          | None -> fail ()
+        else
+          match String.rindex_opt s ':' with
+          | Some i ->
+              let name = String.sub s 0 i in
+              let size = String.sub s (i + 1) (String.length s - i - 1) in
+              (try D_named (name, int_of_string size) with Failure _ -> fail ())
+          | None -> fail ())
+  in
+  parse s
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

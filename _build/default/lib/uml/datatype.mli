@@ -1,0 +1,25 @@
+(** Data types carried by UML operation parameters and message
+    arguments.
+
+    Sizes matter: the thread-allocation optimization weights task-graph
+    edges by the {e volume of transferred data} (paper §4.2.3), which we
+    compute from the byte size of the exchanged values. *)
+
+type t =
+  | D_void
+  | D_bool
+  | D_int
+  | D_float
+  | D_array of t * int  (** element type, length *)
+  | D_named of string * int  (** user type: name, size in bytes *)
+
+val size_bytes : t -> int
+(** Byte size used as communication volume; [D_void] is 0. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Invalid_argument on junk. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type node = { node_name : string; node_stereotypes : Stereotype.t list }
+
+type t = {
+  dep_name : string;
+  dep_nodes : node list;
+  dep_bus : string option;
+  dep_allocation : (string * string) list;
+}
+
+let node name = { node_name = name; node_stereotypes = [ Stereotype.Sa_engine ] }
+
+let make ?bus ~name ~nodes ~allocation () =
+  { dep_name = name; dep_nodes = nodes; dep_bus = bus; dep_allocation = allocation }
+
+let node_of_thread t thread = List.assoc_opt thread t.dep_allocation
+
+let threads_on t node =
+  t.dep_allocation
+  |> List.filter_map (fun (thread, n) ->
+         if String.equal n node then Some thread else None)
+
+let node_names t = List.map (fun n -> n.node_name) t.dep_nodes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>deployment %s" t.dep_name;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "@,  node %s: [%s]" n.node_name
+        (String.concat ", " (threads_on t n.node_name)))
+    t.dep_nodes;
+  (match t.dep_bus with
+  | Some b -> Format.fprintf ppf "@,  bus %s" b
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Deployment diagrams: processors ([<<SAengine>>] nodes), a shared
+    bus, and the allocation of threads to processors (paper Fig. 3a). *)
+
+type node = { node_name : string; node_stereotypes : Stereotype.t list }
+
+type t = {
+  dep_name : string;
+  dep_nodes : node list;
+  dep_bus : string option;
+  dep_allocation : (string * string) list;
+      (** (thread instance name, node name) pairs *)
+}
+
+val node : string -> node
+
+val make :
+  ?bus:string -> name:string -> nodes:node list ->
+  allocation:(string * string) list -> unit -> t
+
+val node_of_thread : t -> string -> string option
+(** Processor a thread is allocated to. *)
+
+val threads_on : t -> string -> string list
+(** Threads allocated to the given node, in allocation order. *)
+
+val node_names : t -> string list
+val pp : Format.formatter -> t -> unit

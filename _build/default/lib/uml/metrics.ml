@@ -1,0 +1,97 @@
+type t = {
+  threads : int;
+  functional_calls : int;
+  comm_messages : int;
+  io_calls : int;
+  comm_bytes : int;
+  fan_out : (string * int) list;
+  fan_in : (string * int) list;
+  token_reuse : float;
+}
+
+let measure (m : Model.t) =
+  let threads = Model.threads m in
+  let messages =
+    List.concat_map (fun (sd : Sequence.t) -> sd.sd_messages) (Model.behaviours m)
+  in
+  let kind name = Model.kind_of_instance m name in
+  let functional_calls = ref 0 in
+  let comm_messages = ref 0 in
+  let io_calls = ref 0 in
+  let comm_bytes = ref 0 in
+  let peers_out = Hashtbl.create 8 in
+  let peers_in = Hashtbl.create 8 in
+  let produced = Hashtbl.create 16 in
+  let consumed = Hashtbl.create 16 in
+  List.iter
+    (fun (msg : Sequence.message) ->
+      (match (kind msg.msg_from, kind msg.msg_to) with
+      | Some Classifier.Thread, Some Classifier.Thread ->
+          incr comm_messages;
+          comm_bytes := !comm_bytes + Sequence.transferred_bytes msg;
+          let sender, receiver =
+            if Sequence.is_receive msg then (msg.msg_to, msg.msg_from)
+            else (msg.msg_from, msg.msg_to)
+          in
+          let add table key peer =
+            let existing = Option.value (Hashtbl.find_opt table key) ~default:[] in
+            if not (List.mem peer existing) then Hashtbl.replace table key (peer :: existing)
+          in
+          add peers_out sender receiver;
+          add peers_in receiver sender
+      | Some Classifier.Thread, Some (Classifier.Passive | Classifier.Platform) ->
+          incr functional_calls
+      | Some Classifier.Thread, Some Classifier.Io_device -> incr io_calls
+      | _, _ -> ());
+      Option.iter
+        (fun (r : Sequence.arg) -> Hashtbl.replace produced r.arg_name ())
+        msg.msg_result;
+      List.iter
+        (fun (o : Sequence.arg) -> Hashtbl.replace produced o.arg_name ())
+        msg.msg_outs;
+      List.iter
+        (fun (a : Sequence.arg) ->
+          Hashtbl.replace consumed a.arg_name
+            (1 + Option.value (Hashtbl.find_opt consumed a.arg_name) ~default:0))
+        msg.msg_args)
+    messages;
+  let reuse_total, reuse_count =
+    Hashtbl.fold
+      (fun token () (total, count) ->
+        (total + Option.value (Hashtbl.find_opt consumed token) ~default:0, count + 1))
+      produced (0, 0)
+  in
+  let per_thread table =
+    List.map
+      (fun th ->
+        (th, List.length (Option.value (Hashtbl.find_opt table th) ~default:[])))
+      threads
+  in
+  {
+    threads = List.length threads;
+    functional_calls = !functional_calls;
+    comm_messages = !comm_messages;
+    io_calls = !io_calls;
+    comm_bytes = !comm_bytes;
+    fan_out = per_thread peers_out;
+    fan_in = per_thread peers_in;
+    token_reuse =
+      (if reuse_count = 0 then 0.0 else float_of_int reuse_total /. float_of_int reuse_count);
+  }
+
+let report m =
+  let x = measure m in
+  let buf = Buffer.create 256 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "model metrics:\n";
+  out "  threads            %d\n" x.threads;
+  out "  functional calls   %d\n" x.functional_calls;
+  out "  comm messages      %d (%d bytes/iteration)\n" x.comm_messages x.comm_bytes;
+  out "  io calls           %d\n" x.io_calls;
+  out "  token reuse        %.2f consumers/token\n" x.token_reuse;
+  List.iter
+    (fun (th, n_out) ->
+      let n_in = Option.value (List.assoc_opt th x.fan_in) ~default:0 in
+      out "  %-12s fan-out %d, fan-in %d\n" th n_out n_in)
+    x.fan_out;
+  Buffer.contents buf

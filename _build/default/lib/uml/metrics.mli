@@ -1,0 +1,18 @@
+(** Model complexity metrics for reports: the structural numbers a
+    designer reads before deciding how to partition and allocate. *)
+
+type t = {
+  threads : int;
+  functional_calls : int;  (** calls to passive/Platform objects *)
+  comm_messages : int;  (** Set/Get between threads *)
+  io_calls : int;
+  comm_bytes : int;  (** total inter-thread payload per iteration *)
+  fan_out : (string * int) list;  (** thread -> distinct receiving threads *)
+  fan_in : (string * int) list;
+  token_reuse : float;
+      (** average consumers per produced token (>1 = real dataflow
+          sharing, the "r1 feeds dec and mult" pattern of Fig. 3) *)
+}
+
+val measure : Model.t -> t
+val report : Model.t -> string

@@ -1,0 +1,69 @@
+type t = {
+  model_name : string;
+  classes : Classifier.cls list;
+  instances : Classifier.instance list;
+  deployments : Deployment.t list;
+  sequences : Sequence.t list;
+  activities : Activity.t list;
+  statecharts : Statechart.t list;
+}
+
+let make ?(classes = []) ?(instances = []) ?(deployments = []) ?(sequences = [])
+    ?(activities = []) ?(statecharts = []) model_name =
+  { model_name; classes; instances; deployments; sequences; activities; statecharts }
+
+let find_class t name =
+  List.find_opt (fun c -> String.equal c.Classifier.cls_name name) t.classes
+
+let find_instance t name =
+  List.find_opt (fun i -> String.equal i.Classifier.inst_name name) t.instances
+
+let class_of_instance t name =
+  match find_instance t name with
+  | Some i -> find_class t i.Classifier.inst_class
+  | None -> None
+
+let kind_of_instance t name =
+  Option.map (fun c -> c.Classifier.cls_kind) (class_of_instance t name)
+
+let threads t =
+  t.instances
+  |> List.filter (fun i -> kind_of_instance t i.Classifier.inst_name = Some Classifier.Thread)
+  |> List.map (fun i -> i.Classifier.inst_name)
+
+let deployment t = match t.deployments with [] -> None | d :: _ -> Some d
+
+let operation_of_message t (m : Sequence.message) =
+  match class_of_instance t m.Sequence.msg_to with
+  | Some c -> Classifier.find_operation c m.Sequence.msg_operation
+  | None -> None
+
+let behaviours t =
+  match t.activities with
+  | [] -> t.sequences
+  | activities -> t.sequences @ [ Activity.to_sequence activities ]
+
+let stats t =
+  [
+    ("classes", List.length t.classes);
+    ("instances", List.length t.instances);
+    ("threads", List.length (threads t));
+    ("deployments", List.length t.deployments);
+    ("sequence diagrams", List.length t.sequences);
+    ("messages", List.fold_left (fun n sd -> n + List.length sd.Sequence.sd_messages) 0 t.sequences);
+    ("activities", List.length t.activities);
+    ("statecharts", List.length t.statecharts);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>UML model %s@," t.model_name;
+  List.iter (fun c -> Format.fprintf ppf "%a@," Classifier.pp_cls c) t.classes;
+  List.iter
+    (fun (i : Classifier.instance) ->
+      Format.fprintf ppf "object %s : %s@," i.Classifier.inst_name i.Classifier.inst_class)
+    t.instances;
+  List.iter (fun d -> Format.fprintf ppf "%a@," Deployment.pp d) t.deployments;
+  List.iter (fun s -> Format.fprintf ppf "%a@," Sequence.pp s) t.sequences;
+  List.iter (fun a -> Format.fprintf ppf "%a@," Activity.pp a) t.activities;
+  List.iter (fun s -> Format.fprintf ppf "%a@," Statechart.pp s) t.statecharts;
+  Format.fprintf ppf "@]"

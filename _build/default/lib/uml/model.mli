@@ -1,0 +1,50 @@
+(** A whole UML model: classes, object instances, deployment diagrams,
+    sequence diagrams and state machines. *)
+
+type t = {
+  model_name : string;
+  classes : Classifier.cls list;
+  instances : Classifier.instance list;
+  deployments : Deployment.t list;
+  sequences : Sequence.t list;
+  activities : Activity.t list;
+  statecharts : Statechart.t list;
+}
+
+val make :
+  ?classes:Classifier.cls list ->
+  ?instances:Classifier.instance list ->
+  ?deployments:Deployment.t list ->
+  ?sequences:Sequence.t list ->
+  ?activities:Activity.t list ->
+  ?statecharts:Statechart.t list ->
+  string ->
+  t
+
+val find_class : t -> string -> Classifier.cls option
+val find_instance : t -> string -> Classifier.instance option
+
+val class_of_instance : t -> string -> Classifier.cls option
+(** Class of the named object instance. *)
+
+val kind_of_instance : t -> string -> Classifier.kind option
+
+val threads : t -> string list
+(** Names of all thread ([<<SASchedRes>>]) instances, in declaration
+    order. *)
+
+val deployment : t -> Deployment.t option
+(** The first deployment diagram, if any (the mapping uses one). *)
+
+val operation_of_message : t -> Sequence.message -> Operation.t option
+(** Resolve a message to the formal operation on the callee's class. *)
+
+val behaviours : t -> Sequence.t list
+(** The sequence diagrams plus, when activity diagrams are present, one
+    synthetic diagram linearizing them ({!Activity.to_sequence}) — what
+    the mapping and the allocation optimization actually consume. *)
+
+val stats : t -> (string * int) list
+(** Element counts per diagram kind, for reports. *)
+
+val pp : Format.formatter -> t -> unit

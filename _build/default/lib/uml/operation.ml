@@ -1,0 +1,46 @@
+type direction = In | Out | Inout | Return
+
+type parameter = {
+  param_name : string;
+  param_dir : direction;
+  param_type : Datatype.t;
+}
+
+type t = { op_name : string; op_params : parameter list }
+
+let make ?(params = []) op_name = { op_name; op_params = params }
+let param ?(dir = In) param_name param_type = { param_name; param_dir = dir; param_type }
+
+let inputs op =
+  List.filter (fun p -> p.param_dir = In || p.param_dir = Inout) op.op_params
+
+let outputs op =
+  List.filter
+    (fun p -> p.param_dir = Out || p.param_dir = Inout || p.param_dir = Return)
+    op.op_params
+
+let return_type op =
+  List.find_opt (fun p -> p.param_dir = Return) op.op_params
+  |> Option.map (fun p -> p.param_type)
+
+let direction_to_string = function
+  | In -> "in"
+  | Out -> "out"
+  | Inout -> "inout"
+  | Return -> "return"
+
+let direction_of_string = function
+  | "in" -> In
+  | "out" -> Out
+  | "inout" -> Inout
+  | "return" -> Return
+  | s -> invalid_arg (Printf.sprintf "Operation.direction_of_string: %S" s)
+
+let pp ppf op =
+  let pp_param ppf p =
+    Format.fprintf ppf "%s %s : %a" (direction_to_string p.param_dir) p.param_name
+      Datatype.pp p.param_type
+  in
+  Format.fprintf ppf "%s(%a)" op.op_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_param)
+    op.op_params

@@ -1,0 +1,30 @@
+(** Operations (methods) of UML classifiers.
+
+    Parameter directions drive the port mapping: [In] parameters become
+    block input ports, [Out]/[Return] become output ports (paper §4.1). *)
+
+type direction = In | Out | Inout | Return
+
+type parameter = {
+  param_name : string;
+  param_dir : direction;
+  param_type : Datatype.t;
+}
+
+type t = { op_name : string; op_params : parameter list }
+
+val make : ?params:parameter list -> string -> t
+val param : ?dir:direction -> string -> Datatype.t -> parameter
+
+val inputs : t -> parameter list
+(** [In] and [Inout] parameters, in declaration order. *)
+
+val outputs : t -> parameter list
+(** [Out], [Inout] and [Return] parameters, in declaration order. *)
+
+val return_type : t -> Datatype.t option
+(** Type of the [Return] parameter, if declared. *)
+
+val direction_to_string : direction -> string
+val direction_of_string : string -> direction
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+let buffer build =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "@startuml\n";
+  build buf;
+  out "@enduml\n";
+  Buffer.contents buf
+
+let out buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let sequence (sd : Sequence.t) =
+  buffer (fun buf ->
+      out buf "title %s\n" sd.sd_name;
+      List.iter
+        (fun name -> out buf "participant \"%s\"\n" name)
+        (Sequence.lifelines sd);
+      List.iter
+        (fun (m : Sequence.message) ->
+          let args =
+            String.concat ", "
+              (List.map (fun (a : Sequence.arg) -> a.arg_name) m.msg_args)
+          in
+          out buf "\"%s\" -> \"%s\" : %s(%s)\n" m.msg_from m.msg_to m.msg_operation args;
+          match m.msg_result with
+          | Some r ->
+              out buf "\"%s\" --> \"%s\" : %s\n" m.msg_to m.msg_from r.Sequence.arg_name
+          | None -> ())
+        sd.sd_messages)
+
+let deployment (d : Deployment.t) =
+  buffer (fun buf ->
+      out buf "title %s\n" d.dep_name;
+      List.iter
+        (fun (n : Deployment.node) ->
+          out buf "node \"%s\" <<SAengine>> {\n" n.node_name;
+          List.iter
+            (fun th -> out buf "  artifact \"%s\" <<SASchedRes>>\n" th)
+            (Deployment.threads_on d n.node_name);
+          out buf "}\n")
+        d.dep_nodes;
+      match d.dep_bus with
+      | Some b ->
+          out buf "node \"%s\" <<bus>>\n" b;
+          let rec pairs = function
+            | (n : Deployment.node) :: rest ->
+                out buf "\"%s\" -- \"%s\"\n" n.node_name b;
+                pairs rest
+            | [] -> ()
+          in
+          pairs d.dep_nodes
+      | None -> ())
+
+let escape_guard s = String.concat "\\n" (String.split_on_char '\n' s)
+
+let statechart (sc : Statechart.t) =
+  buffer (fun buf ->
+      out buf "title %s\n" sc.sc_name;
+      let rec emit indent (s : Statechart.state) =
+        match s.st_kind with
+        | Statechart.Initial -> ()
+        | Statechart.Final -> out buf "%sstate \"%s\" <<end>>\n" indent s.st_name
+        | Statechart.Simple | Statechart.Composite ->
+            if s.st_children = [] then out buf "%sstate \"%s\"\n" indent s.st_name
+            else begin
+              out buf "%sstate \"%s\" {\n" indent s.st_name;
+              (match s.st_history with
+              | Statechart.Shallow -> out buf "%s  state \"[H]\" as %s_H\n" indent s.st_name
+              | Statechart.Deep -> out buf "%s  state \"[H*]\" as %s_H\n" indent s.st_name
+              | Statechart.No_history -> ());
+              List.iter (emit (indent ^ "  ")) s.st_children;
+              out buf "%s}\n" indent
+            end;
+            Option.iter (fun a -> out buf "%s\"%s\" : entry / %s\n" indent s.st_name a) s.st_entry;
+            Option.iter (fun a -> out buf "%s\"%s\" : exit / %s\n" indent s.st_name a) s.st_exit
+      in
+      List.iter (emit "") sc.sc_states;
+      List.iter
+        (fun (tr : Statechart.transition) ->
+          let src_is_initial =
+            match Statechart.find_state sc tr.tr_source with
+            | Some s -> s.st_kind = Statechart.Initial
+            | None -> false
+          in
+          let label =
+            String.concat ""
+              [
+                Option.value tr.tr_trigger ~default:"";
+                (match tr.tr_guard with Some g -> " [" ^ escape_guard g ^ "]" | None -> "");
+                (match tr.tr_effect with Some e -> " / " ^ e | None -> "");
+              ]
+          in
+          if src_is_initial then out buf "[*] --> \"%s\"\n" tr.tr_target
+          else if label = "" then out buf "\"%s\" --> \"%s\"\n" tr.tr_source tr.tr_target
+          else out buf "\"%s\" --> \"%s\" : %s\n" tr.tr_source tr.tr_target label)
+        sc.sc_transitions)
+
+let activity (a : Activity.t) =
+  buffer (fun buf ->
+      out buf "title %s (thread %s)\n" a.act_diagram_name a.act_owner;
+      List.iter
+        (fun node ->
+          match node with
+          | Activity.Action act ->
+              out buf "rectangle \"%s:\\n%s.%s\" as %s\n" act.Activity.act_name
+                act.Activity.act_target act.Activity.act_operation act.Activity.act_name
+          | Activity.Initial n -> out buf "circle \" \" as %s\n" n
+          | Activity.Final n -> out buf "circle \"(X)\" as %s\n" n
+          | Activity.Fork n | Activity.Join n -> out buf "rectangle \"=\" as %s\n" n
+          | Activity.Decision n | Activity.Merge n -> out buf "diamond %s\n" n)
+        a.act_nodes;
+      List.iter
+        (fun (e : Activity.edge) ->
+          match e.edge_guard with
+          | Some g -> out buf "%s --> %s : [%s]\n" e.edge_source e.edge_target (escape_guard g)
+          | None -> out buf "%s --> %s\n" e.edge_source e.edge_target)
+        a.act_edges)
+
+let classes (m : Model.t) =
+  buffer (fun buf ->
+      out buf "title %s\n" m.model_name;
+      List.iter
+        (fun (c : Classifier.cls) ->
+          out buf "class \"%s\" " c.cls_name;
+          (match c.cls_stereotypes with
+          | [] -> ()
+          | sts ->
+              out buf "<<%s>> "
+                (String.concat ", " (List.map Stereotype.to_string sts)));
+          out buf "{\n";
+          List.iter
+            (fun (op : Operation.t) ->
+              out buf "  %s(%s)\n" op.op_name
+                (String.concat ", "
+                   (List.map
+                      (fun (p : Operation.parameter) ->
+                        Operation.direction_to_string p.param_dir ^ " " ^ p.param_name)
+                      op.op_params)))
+            c.cls_operations;
+          out buf "}\n")
+        m.classes;
+      List.iter
+        (fun (i : Classifier.instance) ->
+          out buf "object \"%s\" as o_%s\n" i.inst_name i.inst_name;
+          out buf "o_%s ..> \"%s\"\n" i.inst_name i.inst_class)
+        m.instances)
+
+let model (m : Model.t) =
+  (("classes", classes m)
+  :: List.map (fun (d : Deployment.t) -> (d.dep_name, deployment d)) m.deployments)
+  @ List.map (fun (sd : Sequence.t) -> (sd.sd_name, sequence sd)) m.sequences
+  @ List.map
+      (fun (a : Activity.t) -> (a.act_diagram_name, activity a))
+      m.activities
+  @ List.map (fun (sc : Statechart.t) -> (sc.sc_name, statechart sc)) m.statecharts
+
+let save m ~dir =
+  List.iter
+    (fun (base, text) ->
+      let oc = open_out (Filename.concat dir (base ^ ".puml")) in
+      output_string oc text;
+      close_out oc)
+    (model m)

@@ -1,0 +1,17 @@
+(** PlantUML export of the front-end diagrams, so the UML side of the
+    flow is as renderable as the generated Simulink side (DOT):
+    sequence, deployment, activity and state-machine diagrams, plus a
+    class overview. *)
+
+val sequence : Sequence.t -> string
+val deployment : Deployment.t -> string
+val statechart : Statechart.t -> string
+val activity : Activity.t -> string
+val classes : Model.t -> string
+
+val model : Model.t -> (string * string) list
+(** Every diagram of the model as (file base name, plantuml text):
+    ["classes"], one per deployment/sequence/activity/statechart. *)
+
+val save : Model.t -> dir:string -> unit
+(** Writes [<base>.puml] files into [dir]. *)

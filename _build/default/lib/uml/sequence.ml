@@ -1,0 +1,78 @@
+type arg = { arg_name : string; arg_type : Datatype.t }
+
+type message = {
+  msg_from : string;
+  msg_to : string;
+  msg_operation : string;
+  msg_args : arg list;
+  msg_result : arg option;
+  msg_outs : arg list;
+}
+
+type t = { sd_name : string; sd_messages : message list }
+
+let arg arg_name arg_type = { arg_name; arg_type }
+
+let message ?(args = []) ?result ?(outs = []) ~from ~target operation =
+  {
+    msg_from = from;
+    msg_to = target;
+    msg_operation = operation;
+    msg_args = args;
+    msg_result = result;
+    msg_outs = outs;
+  }
+
+let make sd_name sd_messages = { sd_name; sd_messages }
+
+let lifelines t =
+  let add acc name = if List.mem name acc then acc else name :: acc in
+  List.fold_left
+    (fun acc m -> add (add acc m.msg_from) m.msg_to)
+    [] t.sd_messages
+  |> List.rev
+
+let messages_from t lifeline =
+  List.filter (fun m -> String.equal m.msg_from lifeline) t.sd_messages
+
+let messages_between t ~src ~dst =
+  List.filter
+    (fun m -> String.equal m.msg_from src && String.equal m.msg_to dst)
+    t.sd_messages
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let is_send m = has_prefix "Set" m.msg_operation
+let is_receive m = has_prefix "Get" m.msg_operation
+let is_io_read m = has_prefix "get" m.msg_operation
+let is_io_write m = has_prefix "set" m.msg_operation
+
+let transferred_bytes m =
+  let sum = List.fold_left (fun n a -> n + Datatype.size_bytes a.arg_type) 0 in
+  let result =
+    match m.msg_result with Some a -> Datatype.size_bytes a.arg_type | None -> 0
+  in
+  sum m.msg_args + result + sum m.msg_outs
+
+let pp_arg ppf a = Format.fprintf ppf "%s:%a" a.arg_name Datatype.pp a.arg_type
+
+let pp_message ppf m =
+  Format.fprintf ppf "%s -> %s : %s(%a)" m.msg_from m.msg_to m.msg_operation
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_arg)
+    m.msg_args;
+  (match m.msg_result with
+  | Some r -> Format.fprintf ppf " = %a" pp_arg r
+  | None -> ());
+  match m.msg_outs with
+  | [] -> ()
+  | outs ->
+      Format.fprintf ppf " outs(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_arg)
+        outs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>sequence %s" t.sd_name;
+  List.iter (fun m -> Format.fprintf ppf "@,  %a" pp_message m) t.sd_messages;
+  Format.fprintf ppf "@]"

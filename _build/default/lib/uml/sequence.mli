@@ -1,0 +1,58 @@
+(** Sequence diagrams.
+
+    A diagram is an ordered list of messages between object lifelines.
+    Actual arguments are {e named data tokens} (the "r1", "r2", ... of
+    the paper's Fig. 3b): when a call binds its return value to a token
+    and a later call passes the same token, the mapping creates a data
+    link between the corresponding ports (§4.1). *)
+
+type arg = { arg_name : string; arg_type : Datatype.t }
+
+type message = {
+  msg_from : string;  (** caller lifeline (object instance name) *)
+  msg_to : string;  (** callee lifeline *)
+  msg_operation : string;
+  msg_args : arg list;  (** actual arguments, in formal-parameter order *)
+  msg_result : arg option;  (** token the return value is bound to *)
+  msg_outs : arg list;
+      (** tokens bound to [out]-direction formal parameters, in
+          declaration order — each becomes a further output port
+          (paper §4.1: "the direction of method parameters (in/out)
+          and the return are translated to input and output ports") *)
+}
+
+type t = { sd_name : string; sd_messages : message list }
+
+val arg : string -> Datatype.t -> arg
+
+val message :
+  ?args:arg list -> ?result:arg -> ?outs:arg list -> from:string -> target:string ->
+  string -> message
+
+val make : string -> message list -> t
+
+val lifelines : t -> string list
+(** All distinct lifeline names, in first-appearance order. *)
+
+val messages_from : t -> string -> message list
+(** Calls issued by the given lifeline, in diagram order. *)
+
+val messages_between : t -> src:string -> dst:string -> message list
+
+val is_send : message -> bool
+(** The operation name carries the [Set] prefix (thread-to-thread send,
+    §4.1). *)
+
+val is_receive : message -> bool
+(** [Get] prefix. *)
+
+val is_io_read : message -> bool
+(** [get] prefix (lowercase), used on [<<IO>>] objects. *)
+
+val is_io_write : message -> bool
+
+val transferred_bytes : message -> int
+(** Volume of data moved by this message: arguments plus result. *)
+
+val pp_message : Format.formatter -> message -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+type state = {
+  st_name : string;
+  st_kind : state_kind;
+  st_entry : string option;
+  st_exit : string option;
+  st_history : history;
+  st_children : state list;
+}
+
+and state_kind = Simple | Initial | Final | Composite
+and history = No_history | Shallow | Deep
+
+type transition = {
+  tr_source : string;
+  tr_target : string;
+  tr_trigger : string option;
+  tr_guard : string option;
+  tr_effect : string option;
+}
+
+type t = {
+  sc_name : string;
+  sc_states : state list;
+  sc_transitions : transition list;
+}
+
+let state ?(kind = Simple) ?entry ?exit ?(history = No_history) ?(children = []) name =
+  let kind = if children <> [] then Composite else kind in
+  {
+    st_name = name;
+    st_kind = kind;
+    st_entry = entry;
+    st_exit = exit;
+    st_history = history;
+    st_children = children;
+  }
+
+let transition ?trigger ?guard ?effect ~source ~target () =
+  { tr_source = source; tr_target = target; tr_trigger = trigger;
+    tr_guard = guard; tr_effect = effect }
+
+let make sc_name sc_states sc_transitions = { sc_name; sc_states; sc_transitions }
+
+let all_states t =
+  let rec walk s = s :: List.concat_map walk s.st_children in
+  List.concat_map walk t.sc_states
+
+let find_state t name =
+  List.find_opt (fun s -> String.equal s.st_name name) (all_states t)
+
+let initial_state t = List.find_opt (fun s -> s.st_kind = Initial) t.sc_states
+
+let events t =
+  t.sc_transitions
+  |> List.filter_map (fun tr -> tr.tr_trigger)
+  |> List.sort_uniq compare
+
+type issue = { where : string; what : string }
+
+let check t =
+  let issues = ref [] in
+  let blame where what = issues := { where; what } :: !issues in
+  let seen = Hashtbl.create 16 in
+  let rec walk (s : state) =
+    if Hashtbl.mem seen s.st_name then blame s.st_name "duplicate state name";
+    Hashtbl.replace seen s.st_name ();
+    if s.st_history <> No_history && s.st_children = [] then
+      blame s.st_name "history on a non-composite state";
+    if s.st_kind = Initial && (s.st_entry <> None || s.st_exit <> None) then
+      blame s.st_name "initial pseudo-state cannot have entry/exit actions";
+    let initials =
+      List.filter (fun (c : state) -> c.st_kind = Initial) s.st_children
+    in
+    if List.length initials > 1 then
+      blame s.st_name "more than one initial pseudo-state";
+    List.iter walk s.st_children
+  in
+  List.iter walk t.sc_states;
+  if
+    List.length (List.filter (fun (s : state) -> s.st_kind = Initial) t.sc_states) > 1
+  then blame t.sc_name "more than one top-level initial pseudo-state";
+  List.iter
+    (fun (tr : transition) ->
+      if not (Hashtbl.mem seen tr.tr_source) then
+        blame tr.tr_source "transition source not declared";
+      if not (Hashtbl.mem seen tr.tr_target) then
+        blame tr.tr_target "transition target not declared")
+    t.sc_transitions;
+  Hashtbl.iter
+    (fun name () ->
+      match
+        List.find_opt (fun (s : state) -> String.equal s.st_name name) (all_states t)
+      with
+      | Some s when s.st_kind = Initial ->
+          let outgoing =
+            List.filter
+              (fun (tr : transition) ->
+                String.equal tr.tr_source name && tr.tr_trigger = None)
+              t.sc_transitions
+          in
+          if List.length outgoing <> 1 then
+            blame name "initial pseudo-state needs exactly one completion transition"
+      | Some _ | None -> ())
+    seen;
+  List.rev !issues
+
+let kind_label = function
+  | Simple -> ""
+  | Initial -> " (initial)"
+  | Final -> " (final)"
+  | Composite -> " (composite)"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>statechart %s" t.sc_name;
+  let rec pp_state indent s =
+    Format.fprintf ppf "@,%sstate %s%s" indent s.st_name (kind_label s.st_kind);
+    List.iter (pp_state (indent ^ "  ")) s.st_children
+  in
+  List.iter (pp_state "  ") t.sc_states;
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "@,  %s -> %s%s%s%s" tr.tr_source tr.tr_target
+        (match tr.tr_trigger with Some e -> " on " ^ e | None -> "")
+        (match tr.tr_guard with Some g -> " [" ^ g ^ "]" | None -> "")
+        (match tr.tr_effect with Some a -> " / " ^ a | None -> ""))
+    t.sc_transitions;
+  Format.fprintf ppf "@]"

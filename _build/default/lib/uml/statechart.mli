@@ -1,0 +1,66 @@
+(** UML state machines, used by the control-flow branch of the design
+    flow (Fig. 1): event-based subsystems are mapped to FSMs and handed
+    to FSM code generators.
+
+    States may be composite (hierarchical); {!Umlfront_fsm.Flatten}
+    turns a statechart into a flat FSM. *)
+
+type state = {
+  st_name : string;
+  st_kind : state_kind;
+  st_entry : string option;  (** entry action label *)
+  st_exit : string option;
+  st_history : history;
+      (** re-entry behaviour of a composite: [Shallow] resumes the last
+          active direct child (entered at its own default entry),
+          [Deep] resumes the exact leaf configuration *)
+  st_children : state list;  (** sub-states of a composite state *)
+}
+
+and state_kind = Simple | Initial | Final | Composite
+and history = No_history | Shallow | Deep
+
+type transition = {
+  tr_source : string;
+  tr_target : string;
+  tr_trigger : string option;  (** event name; [None] = completion *)
+  tr_guard : string option;
+  tr_effect : string option;  (** action label *)
+}
+
+type t = {
+  sc_name : string;
+  sc_states : state list;
+  sc_transitions : transition list;
+}
+
+val state :
+  ?kind:state_kind -> ?entry:string -> ?exit:string -> ?history:history ->
+  ?children:state list -> string -> state
+
+val transition :
+  ?trigger:string -> ?guard:string -> ?effect:string ->
+  source:string -> target:string -> unit -> transition
+
+val make : string -> state list -> transition list -> t
+
+val all_states : t -> state list
+(** Pre-order traversal, composites before their children. *)
+
+val find_state : t -> string -> state option
+val initial_state : t -> state option
+(** The top-level initial pseudo-state. *)
+
+val events : t -> string list
+(** Distinct trigger names, sorted. *)
+
+type issue = { where : string; what : string }
+
+val check : t -> issue list
+(** Well-formedness: globally unique state names, transition endpoints
+    declared, at most one [Initial] pseudo-state per composite (and at
+    top level), every [Initial] has exactly one outgoing completion
+    transition, history only on composites, [Initial] states carry no
+    entry/exit actions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = Sa_engine | Sa_sched_res | Io | Custom of string
+
+let to_string = function
+  | Sa_engine -> "SAengine"
+  | Sa_sched_res -> "SASchedRes"
+  | Io -> "IO"
+  | Custom s -> s
+
+let of_string = function
+  | "SAengine" -> Sa_engine
+  | "SASchedRes" -> Sa_sched_res
+  | "IO" -> Io
+  | s -> Custom s
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Format.fprintf ppf "<<%s>>" (to_string t)

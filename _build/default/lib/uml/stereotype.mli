@@ -1,0 +1,19 @@
+(** UML stereotypes used by the design flow.
+
+    [Sa_engine] and [Sa_sched_res] come from the UML-SPT profile and
+    mark processors and threads in the deployment diagram; [Io] is the
+    stereotype the paper introduces to mark environment-interface
+    objects (§4.1). *)
+
+type t =
+  | Sa_engine  (** [<<SAengine>>] — a processor *)
+  | Sa_sched_res  (** [<<SASchedRes>>] — a schedulable resource (thread) *)
+  | Io  (** [<<IO>>] — communication with external systems *)
+  | Custom of string
+
+val to_string : t -> string
+(** Guillemet-free profile name, e.g. ["SAengine"]. *)
+
+val of_string : string -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,324 @@
+module Xml = Umlfront_xml.Xml
+
+let parameter_to_xml (p : Operation.parameter) =
+  Xml.element
+    ~attrs:
+      [
+        ("name", p.param_name);
+        ("direction", Operation.direction_to_string p.param_dir);
+        ("type", Datatype.to_string p.param_type);
+      ]
+    "parameter" []
+
+let operation_to_xml (op : Operation.t) =
+  Xml.element
+    ~attrs:[ ("name", op.op_name) ]
+    "operation"
+    (List.map parameter_to_xml op.op_params)
+
+let class_to_xml (c : Classifier.cls) =
+  let stereotypes =
+    List.map
+      (fun s -> Xml.element ~attrs:[ ("name", Stereotype.to_string s) ] "stereotype" [])
+      c.cls_stereotypes
+  in
+  Xml.element
+    ~attrs:[ ("name", c.cls_name); ("kind", Classifier.kind_to_string c.cls_kind) ]
+    "class"
+    (stereotypes @ List.map operation_to_xml c.cls_operations)
+
+let arg_to_xml (a : Sequence.arg) =
+  Xml.element
+    ~attrs:[ ("name", a.arg_name); ("type", Datatype.to_string a.arg_type) ]
+    "argument" []
+
+let message_to_xml (m : Sequence.message) =
+  let result_attrs =
+    match m.msg_result with
+    | Some r ->
+        [ ("result", r.arg_name); ("resultType", Datatype.to_string r.arg_type) ]
+    | None -> []
+  in
+  let out_to_xml (a : Sequence.arg) =
+    Xml.element
+      ~attrs:[ ("name", a.arg_name); ("type", Datatype.to_string a.arg_type) ]
+      "out" []
+  in
+  Xml.element
+    ~attrs:
+      ([ ("from", m.msg_from); ("to", m.msg_to); ("operation", m.msg_operation) ]
+      @ result_attrs)
+    "message"
+    (List.map arg_to_xml m.msg_args @ List.map out_to_xml m.msg_outs)
+
+let sequence_to_xml (sd : Sequence.t) =
+  Xml.element
+    ~attrs:[ ("name", sd.sd_name) ]
+    "sequence"
+    (List.map message_to_xml sd.sd_messages)
+
+let deployment_to_xml (d : Deployment.t) =
+  let nodes =
+    List.map
+      (fun (n : Deployment.node) ->
+        Xml.element ~attrs:[ ("name", n.node_name) ] "node" [])
+      d.dep_nodes
+  in
+  let bus =
+    match d.dep_bus with
+    | Some b -> [ Xml.element ~attrs:[ ("name", b) ] "bus" [] ]
+    | None -> []
+  in
+  let allocations =
+    List.map
+      (fun (thread, node) ->
+        Xml.element ~attrs:[ ("thread", thread); ("node", node) ] "allocate" [])
+      d.dep_allocation
+  in
+  Xml.element ~attrs:[ ("name", d.dep_name) ] "deployment" (nodes @ bus @ allocations)
+
+let activity_node_to_xml (n : Activity.node) =
+  match n with
+  | Activity.Action a ->
+      let result_attrs =
+        match a.Activity.act_result with
+        | Some (r : Sequence.arg) ->
+            [ ("result", r.Sequence.arg_name);
+              ("resultType", Datatype.to_string r.Sequence.arg_type) ]
+        | None -> []
+      in
+      Xml.element
+        ~attrs:
+          ([ ("kind", "action"); ("name", a.Activity.act_name);
+             ("target", a.Activity.act_target);
+             ("operation", a.Activity.act_operation) ]
+          @ result_attrs)
+        "node"
+        (List.map arg_to_xml a.Activity.act_args)
+  | other ->
+      let kind =
+        match other with
+        | Activity.Initial _ -> "initial"
+        | Activity.Final _ -> "final"
+        | Activity.Fork _ -> "fork"
+        | Activity.Join _ -> "join"
+        | Activity.Decision _ -> "decision"
+        | Activity.Merge _ -> "merge"
+        | Activity.Action _ -> assert false
+      in
+      Xml.element
+        ~attrs:[ ("kind", kind); ("name", Activity.node_name other) ]
+        "node" []
+
+let activity_edge_to_xml (e : Activity.edge) =
+  Xml.element
+    ~attrs:
+      ([ ("source", e.Activity.edge_source); ("target", e.Activity.edge_target) ]
+      @ match e.Activity.edge_guard with Some g -> [ ("guard", g) ] | None -> [])
+    "flow" []
+
+let activity_to_xml (a : Activity.t) =
+  Xml.element
+    ~attrs:[ ("name", a.Activity.act_diagram_name); ("owner", a.Activity.act_owner) ]
+    "activity"
+    (List.map activity_node_to_xml a.Activity.act_nodes
+    @ List.map activity_edge_to_xml a.Activity.act_edges)
+
+let state_kind_to_string = function
+  | Statechart.Simple -> "simple"
+  | Statechart.Initial -> "initial"
+  | Statechart.Final -> "final"
+  | Statechart.Composite -> "composite"
+
+let state_kind_of_string = function
+  | "simple" -> Statechart.Simple
+  | "initial" -> Statechart.Initial
+  | "final" -> Statechart.Final
+  | "composite" -> Statechart.Composite
+  | s -> invalid_arg (Printf.sprintf "xmi: bad state kind %S" s)
+
+let opt_attr name value = match value with Some v -> [ (name, v) ] | None -> []
+
+let rec state_to_xml (s : Statechart.state) =
+  Xml.element
+    ~attrs:
+      ([ ("name", s.st_name); ("kind", state_kind_to_string s.st_kind) ]
+      @ opt_attr "entry" s.st_entry @ opt_attr "exit" s.st_exit
+      @
+      match s.st_history with
+      | Statechart.No_history -> []
+      | Statechart.Shallow -> [ ("history", "shallow") ]
+      | Statechart.Deep -> [ ("history", "deep") ])
+    "state"
+    (List.map state_to_xml s.st_children)
+
+let transition_to_xml (tr : Statechart.transition) =
+  Xml.element
+    ~attrs:
+      ([ ("source", tr.tr_source); ("target", tr.tr_target) ]
+      @ opt_attr "trigger" tr.tr_trigger
+      @ opt_attr "guard" tr.tr_guard
+      @ opt_attr "effect" tr.tr_effect)
+    "transition" []
+
+let statechart_to_xml (sc : Statechart.t) =
+  Xml.element
+    ~attrs:[ ("name", sc.sc_name) ]
+    "statechart"
+    (List.map state_to_xml sc.sc_states @ List.map transition_to_xml sc.sc_transitions)
+
+let to_xml (m : Model.t) =
+  Xml.element
+    ~attrs:[ ("name", m.model_name) ]
+    "uml:Model"
+    (List.map class_to_xml m.classes
+    @ List.map
+        (fun (i : Classifier.instance) ->
+          Xml.element
+            ~attrs:[ ("name", i.inst_name); ("class", i.inst_class) ]
+            "object" [])
+        m.instances
+    @ List.map deployment_to_xml m.deployments
+    @ List.map sequence_to_xml m.sequences
+    @ List.map activity_to_xml m.activities
+    @ List.map statechart_to_xml m.statecharts)
+
+let to_string m = Xml.to_string (to_xml m)
+
+(* Parsing *)
+
+let required node name =
+  match Xml.attr name node with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "xmi: <%s> missing attribute %s" (Xml.tag node) name)
+
+let parameter_of_xml node =
+  Operation.param
+    ~dir:(Operation.direction_of_string (required node "direction"))
+    (required node "name")
+    (Datatype.of_string (required node "type"))
+
+let operation_of_xml node =
+  Operation.make
+    ~params:(List.map parameter_of_xml (Xml.children_named "parameter" node))
+    (required node "name")
+
+let class_of_xml node =
+  let kind = Classifier.kind_of_string (required node "kind") in
+  let stereotypes =
+    Xml.children_named "stereotype" node
+    |> List.map (fun s -> Stereotype.of_string (required s "name"))
+  in
+  let operations = List.map operation_of_xml (Xml.children_named "operation" node) in
+  Classifier.cls ~stereotypes ~operations kind (required node "name")
+
+let arg_of_xml node =
+  Sequence.arg (required node "name") (Datatype.of_string (required node "type"))
+
+let message_of_xml node =
+  let result =
+    match Xml.attr "result" node with
+    | Some name ->
+        Some (Sequence.arg name (Datatype.of_string (required node "resultType")))
+    | None -> None
+  in
+  Sequence.message
+    ~args:(List.map arg_of_xml (Xml.children_named "argument" node))
+    ?result
+    ~outs:(List.map arg_of_xml (Xml.children_named "out" node))
+    ~from:(required node "from") ~target:(required node "to")
+    (required node "operation")
+
+let sequence_of_xml node =
+  Sequence.make (required node "name")
+    (List.map message_of_xml (Xml.children_named "message" node))
+
+let deployment_of_xml node =
+  let nodes =
+    Xml.children_named "node" node
+    |> List.map (fun n -> Deployment.node (required n "name"))
+  in
+  let bus = Option.map (fun b -> required b "name") (Xml.child "bus" node) in
+  let allocation =
+    Xml.children_named "allocate" node
+    |> List.map (fun a -> (required a "thread", required a "node"))
+  in
+  Deployment.make ?bus ~name:(required node "name") ~nodes ~allocation ()
+
+let activity_node_of_xml node =
+  let name = required node "name" in
+  match required node "kind" with
+  | "initial" -> Activity.Initial name
+  | "final" -> Activity.Final name
+  | "fork" -> Activity.Fork name
+  | "join" -> Activity.Join name
+  | "decision" -> Activity.Decision name
+  | "merge" -> Activity.Merge name
+  | "action" ->
+      let result =
+        match Xml.attr "result" node with
+        | Some r -> Some (Sequence.arg r (Datatype.of_string (required node "resultType")))
+        | None -> None
+      in
+      Activity.action
+        ~args:(List.map arg_of_xml (Xml.children_named "argument" node))
+        ?result ~name ~target:(required node "target") (required node "operation")
+  | other -> invalid_arg (Printf.sprintf "xmi: bad activity node kind %S" other)
+
+let activity_edge_of_xml node =
+  Activity.edge ?guard:(Xml.attr "guard" node) ~source:(required node "source")
+    ~target:(required node "target") ()
+
+let activity_of_xml node =
+  Activity.make ~name:(required node "name") ~owner:(required node "owner")
+    (List.map activity_node_of_xml (Xml.children_named "node" node))
+    (List.map activity_edge_of_xml (Xml.children_named "flow" node))
+
+let rec state_of_xml node =
+  Statechart.state
+    ~kind:(state_kind_of_string (required node "kind"))
+    ?entry:(Xml.attr "entry" node) ?exit:(Xml.attr "exit" node)
+    ~history:
+      (match Xml.attr "history" node with
+      | Some "shallow" -> Statechart.Shallow
+      | Some "deep" -> Statechart.Deep
+      | Some _ | None -> Statechart.No_history)
+    ~children:(List.map state_of_xml (Xml.children_named "state" node))
+    (required node "name")
+
+let transition_of_xml node =
+  Statechart.transition ?trigger:(Xml.attr "trigger" node)
+    ?guard:(Xml.attr "guard" node) ?effect:(Xml.attr "effect" node)
+    ~source:(required node "source") ~target:(required node "target") ()
+
+let statechart_of_xml node =
+  Statechart.make (required node "name")
+    (List.map state_of_xml (Xml.children_named "state" node))
+    (List.map transition_of_xml (Xml.children_named "transition" node))
+
+let of_xml doc =
+  if not (String.equal (Xml.tag doc) "uml:Model") then
+    invalid_arg "xmi: root element must be <uml:Model>";
+  let instances =
+    Xml.children_named "object" doc
+    |> List.map (fun n ->
+           { Classifier.inst_name = required n "name"; inst_class = required n "class" })
+  in
+  Model.make
+    ~classes:(List.map class_of_xml (Xml.children_named "class" doc))
+    ~instances
+    ~deployments:(List.map deployment_of_xml (Xml.children_named "deployment" doc))
+    ~sequences:(List.map sequence_of_xml (Xml.children_named "sequence" doc))
+    ~activities:(List.map activity_of_xml (Xml.children_named "activity" doc))
+    ~statecharts:(List.map statechart_of_xml (Xml.children_named "statechart" doc))
+    (required doc "name")
+
+let of_string s = of_xml (Xml.parse_string s)
+
+let save m path =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc
+
+let load path = of_xml (Xml.parse_file path)

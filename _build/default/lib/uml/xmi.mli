@@ -1,0 +1,12 @@
+(** XMI-style XML interchange for UML models (the format the flow's
+    step 1 produces from a modeling tool and step 2 consumes). *)
+
+val to_xml : Model.t -> Umlfront_xml.Xml.t
+val to_string : Model.t -> string
+
+val of_xml : Umlfront_xml.Xml.t -> Model.t
+(** @raise Invalid_argument on a malformed document. *)
+
+val of_string : string -> Model.t
+val save : Model.t -> string -> unit
+val load : string -> Model.t

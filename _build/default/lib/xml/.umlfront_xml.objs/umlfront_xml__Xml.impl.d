@@ -1,0 +1,1 @@
+lib/xml/xml.ml: Buffer Char Format List Printf String

@@ -1,0 +1,384 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+  | Comment of string
+
+exception Parse_error of { line : int; column : int; message : string }
+
+let element ?(attrs = []) tag children = Element (tag, attrs, children)
+let text s = Text s
+
+let tag = function
+  | Element (tag, _, _) -> tag
+  | Text _ | Comment _ -> invalid_arg "Xml.tag: not an element"
+
+let attrs = function Element (_, attrs, _) -> attrs | Text _ | Comment _ -> []
+
+let children = function
+  | Element (_, _, children) -> children
+  | Text _ | Comment _ -> []
+
+let attr name node = List.assoc_opt name (attrs node)
+
+let attr_exn name node =
+  match attr name node with Some v -> v | None -> raise Not_found
+
+let element_children node =
+  let is_element = function Element _ -> true | Text _ | Comment _ -> false in
+  List.filter is_element (children node)
+
+let children_named name node =
+  let matches = function
+    | Element (tag, _, _) -> String.equal tag name
+    | Text _ | Comment _ -> false
+  in
+  List.filter matches (children node)
+
+let child name node =
+  match children_named name node with [] -> None | first :: _ -> Some first
+
+let text_content node =
+  let buf = Buffer.create 64 in
+  let rec collect = function
+    | Text s -> Buffer.add_string buf s
+    | Comment _ -> ()
+    | Element (_, _, children) -> List.iter collect children
+  in
+  collect node;
+  Buffer.contents buf
+
+(* Escaping *)
+
+let escape escape_quotes s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when escape_quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when escape_quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attribute = escape true
+let escape_text = escape false
+
+(* Printing *)
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let rec print_node buf step depth node =
+  let pad () = Buffer.add_string buf (String.make (depth * step) ' ') in
+  match node with
+  | Text s ->
+      pad ();
+      Buffer.add_string buf (escape_text s);
+      Buffer.add_char buf '\n'
+  | Comment s ->
+      pad ();
+      Buffer.add_string buf "<!-- ";
+      Buffer.add_string buf s;
+      Buffer.add_string buf " -->\n"
+  | Element (tag, attrs, children) ->
+      pad ();
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attribute v);
+          Buffer.add_char buf '"')
+        attrs;
+      let significant =
+        List.filter (function Text s -> not (is_blank s) | _ -> true) children
+      in
+      (match significant with
+      | [] -> Buffer.add_string buf "/>\n"
+      | [ Text s ] ->
+          Buffer.add_char buf '>';
+          Buffer.add_string buf (escape_text s);
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n"
+      | _ ->
+          Buffer.add_string buf ">\n";
+          List.iter (print_node buf step (depth + 1)) significant;
+          pad ();
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n")
+
+let to_string ?(declaration = true) ?(indent = 2) node =
+  let buf = Buffer.create 1024 in
+  if declaration then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  print_node buf indent 0 node;
+  Buffer.contents buf
+
+let pp ppf node = Format.pp_print_string ppf (to_string ~declaration:false node)
+
+(* Parsing: a hand-written recursive-descent parser tracking line/column. *)
+
+type parser_state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let fail st message =
+  raise (Parse_error { line = st.line; column = st.column; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let next st =
+  match peek st with
+  | Some c ->
+      advance st;
+      c
+  | None -> fail st "unexpected end of input"
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let expect_string st prefix =
+  if looking_at st prefix then String.iter (fun _ -> advance st) prefix
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let skip_whitespace st =
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let parse_name st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c ->
+        advance st;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if st.pos = start then fail st "expected a name";
+  String.sub st.input start (st.pos - start)
+
+let decode_entity st =
+  (* Called just after '&'. *)
+  let semi =
+    match String.index_from_opt st.input st.pos ';' with
+    | Some i when i - st.pos <= 8 -> i
+    | Some _ | None -> fail st "unterminated entity reference"
+  in
+  let name = String.sub st.input st.pos (semi - st.pos) in
+  let value =
+    match name with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | _ when String.length name > 2 && name.[0] = '#' && name.[1] = 'x' ->
+        let code = int_of_string ("0x" ^ String.sub name 2 (String.length name - 2)) in
+        if code < 128 then String.make 1 (Char.chr code)
+        else fail st "non-ASCII character reference unsupported"
+    | _ when String.length name > 1 && name.[0] = '#' ->
+        let code = int_of_string (String.sub name 1 (String.length name - 1)) in
+        if code < 128 then String.make 1 (Char.chr code)
+        else fail st "non-ASCII character reference unsupported"
+    | _ -> fail st (Printf.sprintf "unknown entity &%s;" name)
+  in
+  while st.pos <= semi do
+    advance st
+  done;
+  value
+
+let parse_attribute_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then fail st "expected attribute quote";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | c when c = quote -> ()
+    | '&' ->
+        Buffer.add_string buf (decode_entity st);
+        loop ()
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_whitespace st;
+    match peek st with
+    | Some c when is_name_char c ->
+        let name = parse_name st in
+        skip_whitespace st;
+        expect_string st "=";
+        skip_whitespace st;
+        let value = parse_attribute_value st in
+        loop ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let skip_comment st =
+  (* After "<!--". *)
+  let rec loop () =
+    if looking_at st "-->" then expect_string st "-->"
+    else (
+      ignore (next st);
+      loop ())
+  in
+  loop ()
+
+let skip_prolog st =
+  let rec loop () =
+    skip_whitespace st;
+    if looking_at st "<?" then (
+      let rec to_close () =
+        if looking_at st "?>" then expect_string st "?>"
+        else (
+          ignore (next st);
+          to_close ())
+      in
+      expect_string st "<?";
+      to_close ();
+      loop ())
+    else if looking_at st "<!--" then (
+      expect_string st "<!--";
+      skip_comment st;
+      loop ())
+    else if looking_at st "<!DOCTYPE" then (
+      let rec to_gt () = if next st = '>' then () else to_gt () in
+      to_gt ();
+      loop ())
+  in
+  loop ()
+
+let parse_cdata st =
+  (* After "<![CDATA[". *)
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if looking_at st "]]>" then expect_string st "]]>"
+    else (
+      Buffer.add_char buf (next st);
+      loop ())
+  in
+  loop ();
+  Buffer.contents buf
+
+let rec parse_element st =
+  expect_string st "<";
+  let name = parse_name st in
+  let attrs = parse_attributes st in
+  skip_whitespace st;
+  if looking_at st "/>" then (
+    expect_string st "/>";
+    Element (name, attrs, []))
+  else (
+    expect_string st ">";
+    let children = parse_children st name in
+    Element (name, attrs, children))
+
+and parse_children st parent =
+  let rec loop acc =
+    if looking_at st "</" then (
+      expect_string st "</";
+      let closing = parse_name st in
+      skip_whitespace st;
+      expect_string st ">";
+      if closing <> parent then
+        fail st (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing parent);
+      List.rev acc)
+    else if looking_at st "<!--" then (
+      expect_string st "<!--";
+      skip_comment st;
+      loop acc)
+    else if looking_at st "<![CDATA[" then (
+      expect_string st "<![CDATA[";
+      loop (Text (parse_cdata st) :: acc))
+    else if looking_at st "<" then loop (parse_element st :: acc)
+    else (
+      let buf = Buffer.create 32 in
+      let rec gather () =
+        match peek st with
+        | Some '<' | None -> ()
+        | Some '&' ->
+            advance st;
+            Buffer.add_string buf (decode_entity st);
+            gather ()
+        | Some c ->
+            advance st;
+            Buffer.add_char buf c;
+            gather ()
+      in
+      gather ();
+      let s = Buffer.contents buf in
+      if is_blank s then loop acc else loop (Text s :: acc))
+  in
+  loop []
+
+let parse_string input =
+  let st = { input; pos = 0; line = 1; column = 1 } in
+  skip_prolog st;
+  skip_whitespace st;
+  if not (looking_at st "<") then fail st "expected root element";
+  let root = parse_element st in
+  skip_whitespace st;
+  if st.pos < String.length st.input then fail st "trailing content after root element";
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_string content
+
+let rec equal a b =
+  let significant nodes =
+    List.filter
+      (function Comment _ -> false | Text s -> not (is_blank s) | Element _ -> true)
+      nodes
+  in
+  let sort_attrs l = List.sort compare l in
+  match (a, b) with
+  | Text s1, Text s2 -> String.equal s1 s2
+  | Comment _, Comment _ -> true
+  | Element (t1, a1, c1), Element (t2, a2, c2) ->
+      String.equal t1 t2
+      && sort_attrs a1 = sort_attrs a2
+      &&
+      let c1 = significant c1 and c2 = significant c2 in
+      List.length c1 = List.length c2 && List.for_all2 equal c1 c2
+  | (Element _ | Text _ | Comment _), _ -> false

@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Astring_contains Filename Float List Option Printf String Sys Umlfront_codegen Umlfront_core Umlfront_dataflow Umlfront_simulink Umlfront_uml Unix

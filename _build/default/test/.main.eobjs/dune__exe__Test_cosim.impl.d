@@ -1,0 +1,1 @@
+test/test_cosim.ml: Alcotest Array Astring_contains Float List Printf Umlfront_cosim Umlfront_dataflow Umlfront_fsm Umlfront_simulink

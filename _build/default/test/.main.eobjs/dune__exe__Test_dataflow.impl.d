@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Fun List Option Test_simulink Umlfront_dataflow Umlfront_simulink Umlfront_taskgraph

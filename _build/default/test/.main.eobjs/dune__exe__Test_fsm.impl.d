@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Astring_contains Filename List Printf String Sys Umlfront_fsm Umlfront_uml

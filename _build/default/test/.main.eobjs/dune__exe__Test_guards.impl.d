@@ -1,0 +1,1 @@
+test/test_guards.ml: Alcotest Astring_contains Filename List Option Printf QCheck QCheck_alcotest Sys Umlfront_fsm

@@ -1,0 +1,1 @@
+test/test_metamodel.ml: Alcotest List Option Umlfront_metamodel

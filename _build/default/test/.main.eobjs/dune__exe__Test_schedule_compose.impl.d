@@ -1,0 +1,1 @@
+test/test_schedule_compose.ml: Alcotest Float List QCheck QCheck_alcotest Umlfront_fsm Umlfront_taskgraph

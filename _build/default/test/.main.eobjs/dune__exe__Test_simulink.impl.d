@@ -1,0 +1,1 @@
+test/test_simulink.ml: Alcotest Format List String Umlfront_simulink

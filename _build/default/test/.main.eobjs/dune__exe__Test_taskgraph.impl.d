@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Float List Printf QCheck QCheck_alcotest Umlfront_taskgraph

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest List Option Umlfront_metamodel Umlfront_transform

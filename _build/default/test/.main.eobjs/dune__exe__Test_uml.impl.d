@@ -1,0 +1,1 @@
+test/test_uml.ml: Alcotest Astring_contains Builder Classifier Datatype Deployment List Model Operation Option Sequence Statechart Stereotype String Umlfront_uml Validate Xmi

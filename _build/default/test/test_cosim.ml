@@ -1,0 +1,216 @@
+(* Co-simulation of an FSM controller with a dataflow plant: the
+   thermostat closed loop (heater -> first-order plant -> temperature
+   watchers -> mode FSM -> heater). *)
+
+module B = Umlfront_simulink.Block
+module S = Umlfront_simulink.System
+module Model = Umlfront_simulink.Model
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+module F = Umlfront_fsm.Fsm
+module Cosim = Umlfront_cosim.Cosim
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let pr block port = { S.block; S.port }
+
+(* Temp' = 0.8*Temp + 0.2*heat : first-order lag toward the heater
+   command, exposed as Outport "Temp", driven by Inport "heat". *)
+let plant () =
+  let root = S.empty "plant" in
+  let root = S.add_block ~params:[ ("Port", B.P_int 1) ] root B.Inport "heat" in
+  let root = S.add_block ~params:[ ("Gain", B.P_float 0.2) ] root B.Gain "inject" in
+  let root = S.add_block ~params:[ ("Gain", B.P_float 0.8) ] root B.Gain "retain" in
+  let root = S.add_block ~params:[ ("Inputs", B.P_string "++") ] root B.Sum "mix" in
+  let root = S.add_block ~params:[ ("InitialCondition", B.P_float 0.0) ] root B.Unit_delay "state" in
+  let root = S.add_block ~params:[ ("Port", B.P_int 1) ] root B.Outport "Temp" in
+  let root = S.add_line root ~src:(pr "heat" 1) ~dst:(pr "inject" 1) in
+  let root = S.add_line root ~src:(pr "inject" 1) ~dst:(pr "mix" 1) in
+  let root = S.add_line root ~src:(pr "state" 1) ~dst:(pr "retain" 1) in
+  let root = S.add_line root ~src:(pr "retain" 1) ~dst:(pr "mix" 2) in
+  let root = S.add_line root ~src:(pr "mix" 1) ~dst:(pr "state" 1) in
+  let root = S.add_line root ~src:(pr "mix" 1) ~dst:(pr "Temp" 1) in
+  Sdf.of_model (Model.make ~name:"plant" root)
+
+let tr ?guard ?(actions = []) src event dst =
+  { F.t_src = src; t_event = event; t_guard = guard; t_actions = actions; t_dst = dst }
+
+let thermostat =
+  F.make ~name:"thermostat" ~initial:"heating" ~states:[ "heating"; "cooling" ]
+    [
+      tr "heating" "hot" "cooling" ~actions:[ "heater_off" ];
+      tr "cooling" "cold" "heating" ~actions:[ "heater_on" ];
+    ]
+
+let config =
+  {
+    Cosim.controller = thermostat;
+    watchers =
+      [ Cosim.watcher ~event:"hot" "Temp > 0.8"; Cosim.watcher ~event:"cold" "Temp < 0.2" ];
+    setters =
+      [
+        Cosim.setter ~action:"heater_off" ~var:"heat" "0";
+        Cosim.setter ~action:"heater_on" ~var:"heat" "1";
+      ];
+    updates = [];
+    initial_store = [ ("heat", 1.0) ];
+  }
+
+let run rounds = Cosim.run ~rounds (plant ()) config
+
+let session_tests =
+  [
+    test "stepping equals batch execution" (fun () ->
+        let sdf = plant () in
+        let stimulus _ _ = 1.0 in
+        let batch = Exec.run ~stimulus ~rounds:5 sdf in
+        let session = Exec.start sdf in
+        let stepped =
+          List.init 5 (fun _ -> List.assoc "Temp" (Exec.step session ~stimulus:(fun _ -> 1.0)))
+        in
+        check Alcotest.int "rounds" 5 (Exec.rounds_executed session);
+        List.iteri
+          (fun i v ->
+            check (Alcotest.float 1e-12) (Printf.sprintf "round %d" i)
+              (List.assoc "Temp" batch.Exec.traces).(i) v)
+          stepped);
+    test "plant converges toward the heater command" (fun () ->
+        let sdf = plant () in
+        let outcome = Exec.run ~stimulus:(fun _ _ -> 1.0) ~rounds:30 sdf in
+        let temp = List.assoc "Temp" outcome.Exec.traces in
+        check Alcotest.bool "close to 1" true (Float.abs (temp.(29) -. 1.0) < 0.01));
+  ]
+
+let cosim_tests =
+  [
+    test "thermostat oscillates between modes" (fun () ->
+        let outcome = run 60 in
+        let transitions =
+          List.filter (fun (s : Cosim.step) -> s.Cosim.events <> []) outcome.Cosim.steps
+        in
+        check Alcotest.bool ">= 3 mode changes" true (List.length transitions >= 3);
+        (* temperature stays inside the hysteresis band once regulated *)
+        List.iter
+          (fun (s : Cosim.step) ->
+            if s.Cosim.round > 10 then
+              let t = List.assoc "Temp" s.Cosim.outputs in
+              check Alcotest.bool "bounded" true (t > 0.05 && t < 0.95))
+          outcome.Cosim.steps);
+    test "watchers are edge-triggered" (fun () ->
+        let outcome = run 60 in
+        (* hot fires only on crossings, never on consecutive rounds *)
+        let rec no_repeat = function
+          | (a : Cosim.step) :: (b : Cosim.step) :: rest ->
+              check Alcotest.bool "no double fire" false
+                (List.mem "hot" a.Cosim.events && List.mem "hot" b.Cosim.events);
+              no_repeat (b :: rest)
+          | [ _ ] | [] -> ()
+        in
+        no_repeat outcome.Cosim.steps);
+    test "actions drive the store" (fun () ->
+        let outcome = run 60 in
+        let after_hot =
+          List.find
+            (fun (s : Cosim.step) -> List.mem "heater_off" s.Cosim.actions)
+            outcome.Cosim.steps
+        in
+        check Alcotest.(option (float 1e-9)) "heat off" (Some 0.0)
+          (List.assoc_opt "heat" after_hot.Cosim.store_after));
+    test "fsm guards read the co-simulation environment" (fun () ->
+        (* Guard blocks the hot transition unless enabled > 0. *)
+        let guarded =
+          F.make ~name:"g" ~initial:"heating" ~states:[ "heating"; "cooling" ]
+            [
+              {
+                F.t_src = "heating";
+                t_event = "hot";
+                t_guard = Some "enabled > 0";
+                t_actions = [ "heater_off" ];
+                t_dst = "cooling";
+              };
+            ]
+        in
+        let run_with enabled =
+          Cosim.run ~rounds:30 (plant ())
+            {
+              config with
+              Cosim.controller = guarded;
+              initial_store = [ ("heat", 1.0); ("enabled", enabled) ];
+            }
+        in
+        check Alcotest.string "blocked" "heating" (run_with 0.0).Cosim.final_state;
+        check Alcotest.string "allowed" "cooling" (run_with 1.0).Cosim.final_state);
+    test "environment updates integrate every round" (fun () ->
+        let outcome =
+          Cosim.run ~rounds:5 (plant ())
+            {
+              config with
+              Cosim.updates = [ Cosim.update ~var:"clock" "clock + 1" ];
+              initial_store = [ ("heat", 1.0); ("clock", 0.0) ];
+            }
+        in
+        check Alcotest.(option (float 1e-9)) "clock" (Some 5.0)
+          (List.assoc_opt "clock" outcome.Cosim.final_store));
+    test "bad watcher expression rejected at construction" (fun () ->
+        match Cosim.watcher ~event:"e" "Temp >" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+module Script = Umlfront_cosim.Script
+
+let script_text =
+  "# glue\n\
+   fsm thermostat\n\
+   rounds 12\n\
+   init heat = 1\n\
+   watch hot when Temp > 0.8\n\
+   watch cold when Temp < 0.2\n\
+   on heater_off set heat = 0\n\
+   on heater_on set heat = 1\n\
+   update clock = clock + 1\n"
+
+let script_tests =
+  [
+    test "script parses every directive" (fun () ->
+        let s = Script.parse_exn script_text in
+        check Alcotest.(option string) "chart" (Some "thermostat") s.Script.chart;
+        check Alcotest.(option int) "rounds" (Some 12) s.Script.rounds;
+        check Alcotest.int "watchers" 2 (List.length s.Script.watchers);
+        check Alcotest.int "setters" 2 (List.length s.Script.setters);
+        check Alcotest.int "updates" 1 (List.length s.Script.updates);
+        check Alcotest.(list (pair string (float 1e-9))) "init" [ ("heat", 1.0) ]
+          s.Script.initial_store);
+    test "scripted run equals programmatic config" (fun () ->
+        let s = Script.parse_exn script_text in
+        let scripted =
+          Cosim.run ~rounds:30 (plant ()) (Script.configure thermostat s)
+        in
+        let programmatic =
+          Cosim.run ~rounds:30 (plant ())
+            { config with Cosim.updates = (Script.configure thermostat s).Cosim.updates;
+              initial_store = [ ("heat", 1.0) ] }
+        in
+        check Alcotest.string "same final state" programmatic.Cosim.final_state
+          scripted.Cosim.final_state);
+    test "error reports the line" (fun () ->
+        match Script.parse "watch broken expression" with
+        | Error msg ->
+            check Alcotest.bool "line 1" true (Astring_contains.contains msg "line 1")
+        | Ok _ -> Alcotest.fail "expected error");
+    test "unknown directive rejected" (fun () ->
+        match Script.parse "frobnicate x" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "comments and blanks ignored" (fun () ->
+        match Script.parse "\n# only a comment\n\n" with
+        | Ok s -> check Alcotest.int "empty" 0 (List.length s.Script.watchers)
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let suite =
+  [
+    ("cosim:session", session_tests);
+    ("cosim:loop", cosim_tests);
+    ("cosim:script", script_tests);
+  ]

@@ -1,0 +1,109 @@
+(* End-to-end properties: random UML models through the whole flow. *)
+
+module U = Umlfront_uml
+module Core = Umlfront_core
+module Model = Umlfront_simulink.Model
+module Caam = Umlfront_simulink.Caam
+module Parser = Umlfront_simulink.Mdl_parser
+module Writer = Umlfront_simulink.Mdl_writer
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+module Kpn = Umlfront_dataflow.Kpn
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let random_uml ~seed ~threads ~extra_edges =
+  Umlfront_casestudies.Random_models.pipeline ~seed ~threads ~extra_edges
+
+let arbitrary_params =
+  QCheck.make
+    ~print:(fun (seed, threads, extra) ->
+      Printf.sprintf "seed=%d threads=%d extra=%d" seed threads extra)
+    QCheck.Gen.(triple (int_bound 10_000) (2 -- 8) (0 -- 6))
+
+let flow_of (seed, threads, extra) =
+  Core.Flow.run ~strategy:Core.Flow.Infer_linear
+    (random_uml ~seed ~threads ~extra_edges:extra)
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random UML models are well-formed" ~count:60
+         arbitrary_params
+         (fun (seed, threads, extra) ->
+           U.Validate.check (random_uml ~seed ~threads ~extra_edges:extra) = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"flow output passes structural and CAAM validation"
+         ~count:40 arbitrary_params
+         (fun params ->
+           let out = flow_of params in
+           Model.validate out.Core.Flow.caam = [] && Caam.check out.Core.Flow.caam = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"flow output executes deadlock-free" ~count:40
+         arbitrary_params
+         (fun params ->
+           let out = flow_of params in
+           let sdf = Sdf.of_model out.Core.Flow.caam in
+           let outcome = Exec.run ~rounds:3 sdf in
+           outcome.Exec.rounds = 3));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mdl text round-trips to identical stats" ~count:30
+         arbitrary_params
+         (fun params ->
+           let out = flow_of params in
+           Model.stats (Parser.parse_string out.Core.Flow.mdl)
+           = Model.stats out.Core.Flow.caam));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"xmi round-trip preserves the flow result" ~count:20
+         arbitrary_params
+         (fun (seed, threads, extra) ->
+           let uml = random_uml ~seed ~threads ~extra_edges:extra in
+           let uml' = U.Xmi.of_string (U.Xmi.to_string uml) in
+           let a = Core.Flow.run ~strategy:Core.Flow.Infer_linear uml in
+           let b = Core.Flow.run ~strategy:Core.Flow.Infer_linear uml' in
+           Writer.to_string a.Core.Flow.caam = Writer.to_string b.Core.Flow.caam));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"KPN execution of the CAAM terminates" ~count:15
+         arbitrary_params
+         (fun params ->
+           let out = flow_of params in
+           let sdf = Sdf.of_model out.Core.Flow.caam in
+           let outcome = Kpn.run ~fuel:1_000_000 (Kpn.of_sdf ~rounds:2 sdf) in
+           outcome.Kpn.steps > 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"allocation strategies agree on thread coverage" ~count:30
+         arbitrary_params
+         (fun (seed, threads, extra) ->
+           let uml = random_uml ~seed ~threads ~extra_edges:extra in
+           let linear = Core.Allocation.infer uml in
+           let bounded = Core.Allocation.infer ~strategy:(Core.Allocation.Bounded 2) uml in
+           List.map fst linear = List.map fst bounded
+           && List.length linear = threads));
+  ]
+
+let example_tests =
+  [
+    test "quickstart binary shape: channel protocols split" (fun () ->
+        let out = flow_of (1, 4, 2) in
+        (* every channel protocol matches its nesting level *)
+        List.iter
+          (fun (path, ch) ->
+            let expected =
+              match Caam.classify_channel ~path with
+              | Caam.Inter_cpu -> "GFIFO"
+              | Caam.Intra_cpu -> "SWFIFO"
+            in
+            check Alcotest.(option string) "protocol" (Some expected) (Caam.protocol ch))
+          (Caam.channels out.Core.Flow.caam));
+    test "deterministic: same seed, same mdl" (fun () ->
+        let a = flow_of (7, 5, 3) and b = flow_of (7, 5, 3) in
+        check Alcotest.string "identical" a.Core.Flow.mdl b.Core.Flow.mdl);
+    test "bigger models scale structurally" (fun () ->
+        let out = flow_of (3, 8, 6) in
+        let stats = Model.stats out.Core.Flow.caam in
+        check Alcotest.bool "many blocks" true (List.assoc "blocks" stats > 40));
+  ]
+
+let suite =
+  [ ("integration:properties", property_tests); ("integration:examples", example_tests) ]

@@ -1,0 +1,199 @@
+(* Bounded-processor list scheduling and FSM parallel composition. *)
+
+module G = Umlfront_taskgraph.Graph
+module Algo = Umlfront_taskgraph.Algo
+module C = Umlfront_taskgraph.Clustering
+module Lc = Umlfront_taskgraph.Linear_clustering
+module Schedule = Umlfront_taskgraph.Schedule
+module Gen = Umlfront_taskgraph.Generator
+module F = Umlfront_fsm.Fsm
+module Compose = Umlfront_fsm.Compose
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let diamond () =
+  G.of_lists
+    ~nodes:[ ("a", 2.0); ("b", 3.0); ("c", 1.0); ("d", 2.0) ]
+    ~edges:[ ("a", "b", 4.0); ("a", "c", 1.0); ("b", "d", 4.0); ("c", "d", 1.0) ]
+
+let legal g (s : Schedule.t) =
+  (* dependencies respected, processors exclusive, all tasks placed *)
+  let finish task =
+    (List.find (fun (p : Schedule.placement) -> p.Schedule.task = task) s.Schedule.placements)
+      .Schedule.finish
+  in
+  List.length s.Schedule.placements = G.node_count g
+  && List.for_all
+       (fun (p : Schedule.placement) ->
+         List.for_all
+           (fun pred -> p.Schedule.start +. 1e-9 >= finish pred)
+           (G.preds g p.Schedule.task))
+       s.Schedule.placements
+  &&
+  let by_proc p =
+    List.filter (fun (pl : Schedule.placement) -> pl.Schedule.processor = p) s.Schedule.placements
+    |> List.sort (fun a b -> Float.compare a.Schedule.start b.Schedule.start)
+  in
+  let rec no_overlap = function
+    | a :: (b :: _ as rest) ->
+        a.Schedule.finish <= b.Schedule.start +. 1e-9 && no_overlap rest
+    | [ _ ] | [] -> true
+  in
+  List.for_all (fun p -> no_overlap (by_proc p)) [ 0; 1; 2; 3 ]
+
+let schedule_tests =
+  [
+    test "hlfet on one processor equals sequential time" (fun () ->
+        let g = diamond () in
+        let s = Schedule.hlfet ~processors:1 g in
+        check (Alcotest.float 1e-9) "makespan" (C.sequential_time g) s.Schedule.makespan);
+    test "hlfet schedule is legal" (fun () ->
+        let g = diamond () in
+        check Alcotest.bool "legal" true (legal g (Schedule.hlfet ~processors:2 g)));
+    test "more processors never hurt hlfet on the diamond" (fun () ->
+        let g = diamond () in
+        let m1 = (Schedule.hlfet ~processors:1 g).Schedule.makespan in
+        let m2 = (Schedule.hlfet ~processors:2 g).Schedule.makespan in
+        check Alcotest.bool "m2 <= m1" true (m2 <= m1 +. 1e-9));
+    test "cyclic graph rejected" (fun () ->
+        let g =
+          G.of_lists ~nodes:[ ("x", 1.0); ("y", 1.0) ]
+            ~edges:[ ("x", "y", 1.0); ("y", "x", 1.0) ]
+        in
+        match Schedule.hlfet ~processors:2 g with
+        | exception Algo.Cycle _ -> ()
+        | _ -> Alcotest.fail "expected Cycle");
+    test "zero processors rejected" (fun () ->
+        match Schedule.hlfet ~processors:0 (diamond ()) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    test "of_clustering folds clusters to the platform" (fun () ->
+        let g = Gen.layered ~seed:5 ~layers:5 ~width:5 ~edge_probability:0.4 ~ccr:1.0 () in
+        let s = Schedule.of_clustering ~processors:3 g (Lc.run g) in
+        let procs =
+          List.sort_uniq compare
+            (List.map (fun (p : Schedule.placement) -> p.Schedule.processor) s.Schedule.placements)
+        in
+        check Alcotest.bool "<= 3 processors" true (List.length procs <= 3));
+    test "to_clustering is a partition" (fun () ->
+        let g = diamond () in
+        let s = Schedule.hlfet ~processors:2 g in
+        check Alcotest.bool "partition" true (C.is_partition_of g (Schedule.to_clustering s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hlfet schedules random DAGs legally" ~count:50
+         (QCheck.make QCheck.Gen.(triple (int_bound 500) (2 -- 5) (1 -- 4)))
+         (fun (seed, layers, processors) ->
+           let g =
+             Gen.layered ~seed ~layers ~width:4 ~edge_probability:0.5 ~ccr:1.0 ()
+           in
+           legal g (Schedule.hlfet ~processors g)));
+  ]
+
+let tr ?(actions = []) src event dst =
+  { F.t_src = src; t_event = event; t_guard = None; t_actions = actions; t_dst = dst }
+
+let light =
+  F.make ~name:"light" ~initial:"off" ~states:[ "off"; "on" ]
+    [ tr "off" "power" "on" ~actions:[ "lamp_on" ];
+      tr "on" "power" "off" ~actions:[ "lamp_off" ] ]
+
+let fan =
+  F.make ~name:"fan" ~initial:"still" ~states:[ "still"; "spin" ]
+    [ tr "still" "power" "spin" ~actions:[ "fan_on" ];
+      tr "spin" "power" "still" ~actions:[ "fan_off" ];
+      tr "spin" "boost" "spin" ~actions:[ "fan_fast" ] ]
+
+let compose_tests =
+  [
+    test "shared events move both components" (fun () ->
+        let p = Compose.product light fan in
+        match F.step p ~state:"off|still" ~event:"power" with
+        | Some s ->
+            check Alcotest.string "state" "on|spin" s.F.after;
+            check Alcotest.(list string) "actions" [ "lamp_on"; "fan_on" ] s.F.actions
+        | None -> Alcotest.fail "expected step");
+    test "private events move one component" (fun () ->
+        let p = Compose.product light fan in
+        let after_power = F.final_state p [ "power" ] in
+        match F.step p ~state:after_power ~event:"boost" with
+        | Some s ->
+            check Alcotest.string "state" "on|spin" s.F.after;
+            check Alcotest.(list string) "actions" [ "fan_fast" ] s.F.actions
+        | None -> Alcotest.fail "expected step");
+    test "product is deterministic and reachable-only" (fun () ->
+        let p = Compose.product light fan in
+        check Alcotest.bool "det" true (F.is_deterministic p);
+        (* off|spin and on|still are unreachable under shared power *)
+        check Alcotest.int "states" 2 (List.length p.F.states));
+    test "product behaviour equals componentwise simulation" (fun () ->
+        let p = Compose.product light fan in
+        let traces =
+          [ [ "power" ]; [ "power"; "boost"; "power" ]; [ "boost"; "power"; "power" ] ]
+        in
+        List.iter
+          (fun trace ->
+            let expected =
+              let s1 = ref light.F.initial and s2 = ref fan.F.initial in
+              List.concat_map
+                (fun e ->
+                  let a1 =
+                    match F.step light ~state:!s1 ~event:e with
+                    | Some st ->
+                        s1 := st.F.after;
+                        st.F.actions
+                    | None -> []
+                  in
+                  let a2 =
+                    match F.step fan ~state:!s2 ~event:e with
+                    | Some st ->
+                        s2 := st.F.after;
+                        st.F.actions
+                    | None -> []
+                  in
+                  a1 @ a2)
+                trace
+            in
+            let got = List.concat_map (fun s -> s.F.actions) (F.run p trace) in
+            check Alcotest.(list string) "actions" expected got)
+          traces);
+    test "guarded machines rejected" (fun () ->
+        let guarded =
+          F.make ~name:"g" ~initial:"a" ~states:[ "a" ]
+            [ { F.t_src = "a"; t_event = "e"; t_guard = Some "x"; t_actions = []; t_dst = "a" } ]
+        in
+        match Compose.product light guarded with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    test "product_list folds left" (fun () ->
+        let third =
+          F.make ~name:"bell" ~initial:"quiet" ~states:[ "quiet" ]
+            [ tr "quiet" "power" "quiet" ~actions:[ "ding" ] ]
+        in
+        let p = Compose.product_list ~name:"room" [ light; fan; third ] in
+        check Alcotest.string "name" "room" p.F.fsm_name;
+        match F.step p ~state:p.F.initial ~event:"power" with
+        | Some s ->
+            check Alcotest.(list string) "all actions" [ "lamp_on"; "fan_on"; "ding" ]
+              s.F.actions
+        | None -> Alcotest.fail "expected step");
+    test "finals are the intersection" (fun () ->
+        let a =
+          F.make ~name:"a" ~initial:"s" ~states:[ "s"; "fa" ] ~finals:[ "fa" ]
+            [ tr "s" "go" "fa" ]
+        in
+        let b =
+          F.make ~name:"b" ~initial:"t" ~states:[ "t"; "fb" ] ~finals:[ "fb" ]
+            [ tr "t" "go" "fb" ]
+        in
+        let p = Compose.product a b in
+        check Alcotest.(list string) "finals" [ "fa|fb" ] p.F.finals);
+    test "product with minimization stays equivalent" (fun () ->
+        let p = Compose.product light fan in
+        let m = Umlfront_fsm.Minimize.run p in
+        check Alcotest.bool "equal" true
+          (F.simulate_equal p m [ [ "power" ]; [ "power"; "boost" ]; [] ]));
+  ]
+
+let suite =
+  [ ("schedule:hlfet", schedule_tests); ("fsm:compose", compose_tests) ]
