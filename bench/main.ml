@@ -6,7 +6,11 @@
    runs the ablation the paper argues for in §4.2.3 (linear clustering
    vs. naive allocations) over synthetic workloads.  Part 3 runs
    Bechamel micro-benchmarks of the tool chain itself (one Test.make
-   per benched pipeline stage). *)
+   per benched pipeline stage).  Part 4 runs the case-study flows under
+   the Umlfront_obs instrumentation layer and writes BENCH_obs.json
+   (per-phase ms, blocks/s parsed, actor firings/s) so later PRs have a
+   perf trajectory to regress against, plus the instrumentation
+   overhead on the synthetic flow. *)
 
 module U = Umlfront_uml
 module Core = Umlfront_core
@@ -26,6 +30,8 @@ module Sdf = Umlfront_dataflow.Sdf
 module Exec = Umlfront_dataflow.Exec
 module Timing = Umlfront_dataflow.Timing
 module Cs = Umlfront_casestudies
+module Obs = Umlfront_obs
+module Json = Umlfront_obs.Json
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -345,7 +351,122 @@ let microbenchmarks () =
         analyzed)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: observability — instrumented flows and BENCH_obs.json      *)
+(* ------------------------------------------------------------------ *)
+
+let flow_phases =
+  [
+    "flow.validate"; "flow.allocate"; "flow.map"; "flow.channels"; "flow.barriers";
+    "flow.layout"; "flow.emit"; "flow.fsm";
+  ]
+
+let instrumented_case name uml_fn strategy =
+  Obs.Metrics.reset ();
+  Obs.Trace.enable ();
+  let rounds = 100 in
+  let t0 = Unix.gettimeofday () in
+  let out = Core.Flow.run ~strategy (uml_fn ()) in
+  let sdf = Sdf.of_model out.Core.Flow.caam in
+  let outcome = Exec.run ~rounds sdf in
+  let reparsed = Parser.parse_string out.Core.Flow.mdl in
+  let total_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let phases_ms =
+    List.filter_map
+      (fun p ->
+        Option.map (fun us -> (p, us /. 1e3)) (Obs.Trace.last_dur_us p))
+      flow_phases
+  in
+  let blocks = S.total_blocks reparsed.Model.root in
+  let parse_s =
+    Option.value (Obs.Trace.last_dur_us "mdl.parse") ~default:Float.nan /. 1e6
+  in
+  let exec_s =
+    Option.value (Obs.Trace.last_dur_us "exec.run") ~default:Float.nan /. 1e6
+  in
+  let firings = List.fold_left (fun acc (_, n) -> acc + n) 0 outcome.Exec.firings in
+  let blocks_per_s = float_of_int blocks /. parse_s in
+  let firings_per_s = float_of_int firings /. exec_s in
+  row "  %-10s total %8.2f ms | parse %8.0f blocks/s | exec %10.0f firings/s\n" name
+    total_ms blocks_per_s firings_per_s;
+  List.iter (fun (p, ms) -> row "    %-16s %8.3f ms\n" p ms) phases_ms;
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("total_ms", Json.Float total_ms);
+      ("phases_ms", Json.Obj (List.map (fun (p, ms) -> (p, Json.Float ms)) phases_ms));
+      ("blocks", Json.Int blocks);
+      ("blocks_per_s_parsed", Json.Float blocks_per_s);
+      ("rounds", Json.Int rounds);
+      ("firings", Json.Int firings);
+      ("actor_firings_per_s", Json.Float firings_per_s);
+    ]
+
+(* Mean wall-clock of the synthetic 12-thread flow with the span sink
+   on vs. off — the acceptance bar for leaving instrumentation in hot
+   paths permanently is < 5% overhead. *)
+let instrumentation_overhead () =
+  let reps = 30 in
+  let measure enabled =
+    if enabled then Obs.Trace.enable () else Obs.Trace.disable ();
+    for _ = 1 to 3 do
+      ignore (Core.Flow.run ~strategy:Core.Flow.Infer_linear (Cs.Synthetic_system.model ()))
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Core.Flow.run ~strategy:Core.Flow.Infer_linear (Cs.Synthetic_system.model ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int reps
+  in
+  let off = measure false in
+  let on = measure true in
+  Obs.Trace.disable ();
+  let percent = (on -. off) /. off *. 100.0 in
+  row "  sink disabled %8.3f ms/flow | enabled %8.3f ms/flow | overhead %+.2f%%\n" off
+    on percent;
+  Json.Obj
+    [
+      ("flow", Json.String "synthetic12");
+      ("reps", Json.Int reps);
+      ("disabled_ms", Json.Float off);
+      ("enabled_ms", Json.Float on);
+      ("percent", Json.Float percent);
+    ]
+
+let observability_bench () =
+  section "Part 4 — observability: instrumented flows (BENCH_obs.json)";
+  let crane = instrumented_case "crane" Cs.Crane_system.model Core.Flow.Use_deployment in
+  let synthetic =
+    instrumented_case "synthetic" Cs.Synthetic_system.model Core.Flow.Infer_linear
+  in
+  let mjpeg = instrumented_case "mjpeg" Cs.Mjpeg_system.model Core.Flow.Prefer_deployment in
+  let cases = [ crane; synthetic; mjpeg ] in
+  let overhead = instrumentation_overhead () in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "umlfront-bench-obs/1");
+        ("cases", Json.List cases);
+        ("overhead", overhead);
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "  wrote BENCH_obs.json"
+
 let () =
+  (* Same -v/--verbose switch as bin/umlfront: structured Logs events
+     from the instrumented passes go to stderr. *)
+  let verbosity =
+    Array.fold_left
+      (fun acc arg -> match arg with "-v" | "--verbose" -> acc + 1 | _ -> acc)
+      0 Sys.argv
+  in
+  if verbosity > 0 then (
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbosity > 1 then Logs.Debug else Logs.Info)));
   print_endline "umlfront experiment harness — paper figures, ablations, benchmarks";
   fig3_didactic ();
   fig5_crane ();
@@ -356,4 +477,5 @@ let () =
   bounded_platform_ablation ();
   dse_sweep ();
   microbenchmarks ();
+  observability_bench ();
   print_endline "\ndone."

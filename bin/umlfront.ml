@@ -12,6 +12,12 @@
      umlfront cosim model.xml -g glue.cosim  co-simulate FSM x dataflow
      umlfront example crane -o model.xml     dump a bundled case study as XMI
      umlfront report model.xml               full flow summary
+     umlfront stats model.xml                run the flow instrumented, print metrics
+
+   Any subcommand accepts a global `--profile FILE.json`: the run is
+   traced (spans per flow phase, parser/executor metrics) and a Chrome
+   trace-event file loadable in chrome://tracing or Perfetto is written
+   on exit.
 
    The input is the XMI-style XML of Umlfront_uml.Xmi. *)
 
@@ -19,7 +25,21 @@ module U = Umlfront_uml
 module Core = Umlfront_core
 module Dataflow = Umlfront_dataflow
 module Codegen = Umlfront_codegen
+module Obs = Umlfront_obs
 open Cmdliner
+
+(* Convert the tool's failure exceptions into proper Cmdliner
+   evaluation errors (message on stderr, exit code 124) instead of a
+   raw [Failure] backtrace. *)
+let protect f =
+  try Ok (f ()) with
+  | Failure m | Invalid_argument m | Sys_error m -> Error m
+  | Umlfront_xml.Xml.Parse_error { line; column; message } ->
+      Error (Printf.sprintf "XML parse error at %d:%d: %s" line column message)
+  | Umlfront_simulink.Mdl_parser.Error { line; message } ->
+      Error (Printf.sprintf ".mdl parse error at line %d: %s" line message)
+  | Umlfront_dataflow.Exec.Deadlock cycle ->
+      Error ("deadlock (zero-delay cycle): " ^ String.concat " -> " cycle)
 
 let uml_arg =
   let doc = "UML model in umlfront XMI format." in
@@ -94,7 +114,10 @@ let example_cmd =
   in
   Cmd.v
     (Cmd.info "example" ~doc:"Dump a bundled case-study UML model as XMI")
-    Term.(const action $ name_arg $ out_arg)
+    Term.(
+      term_result'
+        (const (fun name out -> protect (fun () -> action name out))
+        $ name_arg $ out_arg))
 
 let dse_cmd =
   let action path max_cpus =
@@ -103,7 +126,10 @@ let dse_cmd =
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Design-space exploration: sweep CPU counts, report Pareto set")
-    Term.(const action $ uml_arg $ cpus_arg)
+    Term.(
+      term_result'
+        (const (fun path cpus -> protect (fun () -> action path cpus))
+        $ uml_arg $ cpus_arg))
 
 let partition_cmd =
   let action path threads out =
@@ -128,7 +154,10 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Automatically partition a single-threaded model into threads")
-    Term.(const action $ uml_arg $ threads_arg $ out_arg)
+    Term.(
+      term_result'
+        (const (fun path threads out -> protect (fun () -> action path threads out))
+        $ uml_arg $ threads_arg $ out_arg))
 
 let capture_cmd =
   let action path out =
@@ -145,7 +174,10 @@ let capture_cmd =
   in
   Cmd.v
     (Cmd.info "capture" ~doc:"Reverse mapping: capture a Simulink CAAM as a UML model")
-    Term.(const action $ mdl_arg $ out_arg)
+    Term.(
+      term_result'
+        (const (fun path out -> protect (fun () -> action path out))
+        $ mdl_arg $ out_arg))
 
 let map_cmd =
   let action path strategy cpus out ecore =
@@ -183,8 +215,10 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map" ~doc:"Map a UML model to a Simulink CAAM (.mdl or E-core XML)")
     Term.(
-      const (with_blockdot action) $ uml_arg $ strategy_arg $ cpus_arg $ out_arg
-      $ ecore_arg $ blockdot_arg)
+      term_result'
+        (const (fun path strategy cpus out ecore blockdot ->
+             protect (fun () -> with_blockdot action path strategy cpus out ecore blockdot))
+        $ uml_arg $ strategy_arg $ cpus_arg $ out_arg $ ecore_arg $ blockdot_arg))
 
 let allocate_cmd =
   let action path dot =
@@ -223,7 +257,10 @@ let allocate_cmd =
   in
   Cmd.v
     (Cmd.info "allocate" ~doc:"Show the automatic thread allocation (§4.2.3)")
-    Term.(const action $ uml_arg $ dot_arg)
+    Term.(
+      term_result'
+        (const (fun path dot -> protect (fun () -> action path dot))
+        $ uml_arg $ dot_arg))
 
 let simulate_cmd =
   let action path strategy cpus rounds csv gantt =
@@ -250,7 +287,11 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Map and execute the CAAM on the SDF simulator")
-    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg)
+    Term.(
+      term_result'
+        (const (fun path strategy cpus rounds csv gantt ->
+             protect (fun () -> action path strategy cpus rounds csv gantt))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg))
 
 let codegen_cmd =
   let action path strategy cpus rounds dir lang =
@@ -278,7 +319,11 @@ let codegen_cmd =
   in
   Cmd.v
     (Cmd.info "codegen" ~doc:"Generate multithreaded code from the CAAM")
-    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ dir_arg $ lang_arg)
+    Term.(
+      term_result'
+        (const (fun path strategy cpus rounds dir lang ->
+             protect (fun () -> action path strategy cpus rounds dir lang))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ dir_arg $ lang_arg))
 
 let fsm_cmd =
   let action path dir =
@@ -302,7 +347,10 @@ let fsm_cmd =
   in
   Cmd.v
     (Cmd.info "fsm" ~doc:"Generate C FSMs from the model's statecharts")
-    Term.(const action $ uml_arg $ dir_arg)
+    Term.(
+      term_result'
+        (const (fun path dir -> protect (fun () -> action path dir))
+        $ uml_arg $ dir_arg))
 
 let audit_cmd =
   let action path strategy cpus =
@@ -312,7 +360,10 @@ let audit_cmd =
   in
   Cmd.v
     (Cmd.info "audit" ~doc:"Cross-check UML source, trace links and generated CAAM")
-    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg)
+    Term.(
+      term_result'
+        (const (fun path strategy cpus -> protect (fun () -> action path strategy cpus))
+        $ uml_arg $ strategy_arg $ cpus_arg))
 
 let cosim_cmd =
   let action path script_path rounds strategy cpus =
@@ -358,7 +409,11 @@ let cosim_cmd =
   Cmd.v
     (Cmd.info "cosim"
        ~doc:"Co-simulate the model's statechart(s) against its generated dataflow")
-    Term.(const action $ uml_arg $ script_arg $ rounds_arg $ strategy_arg $ cpus_arg)
+    Term.(
+      term_result'
+        (const (fun path script rounds strategy cpus ->
+             protect (fun () -> action path script rounds strategy cpus))
+        $ uml_arg $ script_arg $ rounds_arg $ strategy_arg $ cpus_arg))
 
 let plantuml_cmd =
   let action path dir =
@@ -371,7 +426,10 @@ let plantuml_cmd =
   in
   Cmd.v
     (Cmd.info "plantuml" ~doc:"Export the UML diagrams as PlantUML")
-    Term.(const action $ uml_arg $ dir_arg)
+    Term.(
+      term_result'
+        (const (fun path dir -> protect (fun () -> action path dir))
+        $ uml_arg $ dir_arg))
 
 let report_cmd =
   let action path strategy cpus =
@@ -383,7 +441,34 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the whole flow and print a summary")
-    Term.(const action $ uml_arg $ strategy_arg $ cpus_arg)
+    Term.(
+      term_result'
+        (const (fun path strategy cpus -> protect (fun () -> action path strategy cpus))
+        $ uml_arg $ strategy_arg $ cpus_arg))
+
+let stats_cmd =
+  let action path strategy cpus rounds =
+    (* Enable the span sink so per-round latency histograms populate;
+       keep whatever a surrounding --profile already set up. *)
+    if not (Obs.Trace.enabled ()) then Obs.Trace.enable ();
+    let output = run_flow path strategy cpus in
+    (* Exercise the rest of the pipeline so parser and executor
+       metrics appear alongside the flow's. *)
+    ignore (Umlfront_simulink.Mdl_parser.parse_string output.Core.Flow.mdl);
+    let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
+    ignore (Dataflow.Exec.run ~rounds sdf);
+    print_string (Core.Report.metrics_table ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the flow (map + reparse + simulate) under instrumentation and print \
+          the metrics registry")
+    Term.(
+      term_result'
+        (const (fun path strategy cpus rounds ->
+             protect (fun () -> action path strategy cpus rounds))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg))
 
 let () =
   (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)
@@ -396,7 +481,38 @@ let () =
   if verbosity > 0 then (
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbosity > 1 then Logs.Debug else Logs.Info)));
-  let argv = Array.of_list (List.filter (fun a -> a <> "-v" && a <> "--verbose") (Array.to_list Sys.argv)) in
+  let args =
+    List.filter (fun a -> a <> "-v" && a <> "--verbose") (Array.to_list Sys.argv)
+  in
+  (* Global --profile FILE.json: trace the whole invocation, dump a
+     Chrome trace-event file (plus metrics snapshot) on exit. *)
+  let args, profile =
+    let prefix = "--profile=" in
+    let rec strip acc profile = function
+      | [] -> (List.rev acc, profile)
+      | [ "--profile" ] ->
+          prerr_endline "umlfront: option '--profile' needs an argument";
+          exit 124
+      | "--profile" :: file :: rest -> strip acc (Some file) rest
+      | arg :: rest when String.starts_with ~prefix arg ->
+          strip acc
+            (Some (String.sub arg (String.length prefix) (String.length arg - String.length prefix)))
+            rest
+      | arg :: rest -> strip (arg :: acc) profile rest
+    in
+    strip [] None args
+  in
+  Option.iter
+    (fun file ->
+      Obs.Trace.enable ();
+      at_exit (fun () ->
+          try
+            Obs.Trace.write ~metrics:(Obs.Metrics.snapshot ()) file;
+            Printf.eprintf "profile: wrote %s (%d events)\n%!" file
+              (List.length (Obs.Trace.events ()))
+          with Sys_error m -> Printf.eprintf "profile: cannot write trace: %s\n%!" m))
+    profile;
+  let argv = Array.of_list args in
   let info =
     Cmd.info "umlfront" ~version:"1.0.0"
       ~doc:"UML front-end for heterogeneous software code generation"
@@ -407,5 +523,5 @@ let () =
           [
             map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
             partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
-            plantuml_cmd; report_cmd;
+            plantuml_cmd; report_cmd; stats_cmd;
           ]))

@@ -1,6 +1,7 @@
 let log = Logs.Src.create "umlfront.flow" ~doc:"UML front-end design flow"
 
 module Log = (val Logs.src_log log : Logs.LOG)
+module Obs = Umlfront_obs
 
 type allocation_strategy =
   | Use_deployment
@@ -33,16 +34,38 @@ let choose_allocation strategy uml =
   | Infer_linear -> Allocation.infer uml
   | Infer_bounded n -> Allocation.infer ~strategy:(Allocation.Bounded n) uml
 
+(* Each phase of §4.1–4.2.3 runs under its own span so a profile of a
+   large model shows where the time goes; the span args are thunks and
+   cost nothing when the sink is off. *)
+let phase name ?args f = Obs.Trace.with_span ~cat:"flow" ("flow." ^ name) ?args f
+
 let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
+  phase "run"
+    ~args:(fun () -> [ ("model", Umlfront_obs.Json.String uml.Umlfront_uml.Model.model_name) ])
+  @@ fun () ->
   Log.info (fun m ->
       m "flow start: model %s, %d threads" uml.Umlfront_uml.Model.model_name
         (List.length (Umlfront_uml.Model.threads uml)));
-  let allocation = choose_allocation strategy uml in
+  Obs.Metrics.incr "flow.runs";
+  let issues = phase "validate" (fun () -> Umlfront_uml.Validate.check uml) in
+  Obs.Metrics.incr "flow.validate.issues" ~by:(List.length issues);
+  List.iter
+    (fun (i : Umlfront_uml.Validate.issue) ->
+      Obs.Events.emit ~level:Logs.Warning ~src:log
+        ~fields:
+          [
+            ("where", Umlfront_obs.Json.String i.Umlfront_uml.Validate.where);
+            ("what", Umlfront_obs.Json.String i.Umlfront_uml.Validate.what);
+          ]
+        "flow.validate.issue")
+    issues;
+  let allocation = phase "allocate" (fun () -> choose_allocation strategy uml) in
   Log.debug (fun m ->
       m "allocation: %s"
         (String.concat ", " (List.map (fun (t, c) -> t ^ "->" ^ c) allocation)));
-  let mapped = Mapping.run ~style ~allocation uml in
+  let mapped = phase "map" (fun () -> Mapping.run ~style ~allocation uml) in
   let channelized =
+    phase "channels" @@ fun () ->
     match style with
     | Mapping.Caam -> Channel_inference.run mapped.Mapping.model
     | Mapping.Flat ->
@@ -52,28 +75,36 @@ let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
           inter_channels = 0;
         }
   in
+  Obs.Metrics.incr "flow.channels.intra" ~by:channelized.Channel_inference.intra_channels;
+  Obs.Metrics.incr "flow.channels.inter" ~by:channelized.Channel_inference.inter_channels;
   Log.debug (fun m ->
       m "channels: %d intra, %d inter" channelized.Channel_inference.intra_channels
         channelized.Channel_inference.inter_channels);
-  let barriered = Loop_breaker.run channelized.Channel_inference.model in
+  let barriered =
+    phase "barriers" (fun () -> Loop_breaker.run channelized.Channel_inference.model)
+  in
+  Obs.Metrics.incr "flow.barriers.inserted" ~by:barriered.Loop_breaker.delays_inserted;
   if barriered.Loop_breaker.delays_inserted > 0 then
     Log.info (fun m ->
         m "inserted %d temporal barrier(s)" barriered.Loop_breaker.delays_inserted);
-  let caam = Umlfront_simulink.Layout.run barriered.Loop_breaker.model in
+  let caam = phase "layout" (fun () -> Umlfront_simulink.Layout.run barriered.Loop_breaker.model) in
+  let mdl = phase "emit" (fun () -> Umlfront_simulink.Mdl_writer.to_string caam) in
+  let fsms = phase "fsm" (fun () -> Uml2fsm.run uml) in
+  let blocks = Umlfront_simulink.System.total_blocks caam.Umlfront_simulink.Model.root in
+  Obs.Metrics.incr "flow.blocks" ~by:blocks;
   Log.info (fun m ->
-      m "flow done: %d blocks, %d lines"
-        (Umlfront_simulink.System.total_blocks caam.Umlfront_simulink.Model.root)
+      m "flow done: %d blocks, %d lines" blocks
         (Umlfront_simulink.System.total_lines caam.Umlfront_simulink.Model.root));
   {
     caam;
-    mdl = Umlfront_simulink.Mdl_writer.to_string caam;
+    mdl;
     allocation;
     trace = mapped.Mapping.trace;
     intra_channels = channelized.Channel_inference.intra_channels;
     inter_channels = channelized.Channel_inference.inter_channels;
     delays_inserted = barriered.Loop_breaker.delays_inserted;
     broken_cycles = barriered.Loop_breaker.broken_cycles;
-    fsms = Uml2fsm.run uml;
+    fsms;
   }
 
 let ecore_xml output =

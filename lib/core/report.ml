@@ -51,6 +51,15 @@ let clustering_table g clustering =
   out "  critical path on one CPU: %b\n" (Clustering.critical_path_cluster g clustering);
   Buffer.contents buf
 
+(* Metrics snapshot from the observability registry, rendered the same
+   way as the rest of the report family. *)
+let metrics_table ?(snapshot = Umlfront_obs.Metrics.snapshot ()) () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "metrics:\n";
+  if snapshot = [] then Buffer.add_string buf "  (no metrics recorded)\n"
+  else Buffer.add_string buf (Umlfront_obs.Metrics.table snapshot);
+  Buffer.contents buf
+
 let caam_tree (m : Model.t) =
   let buf = Buffer.create 512 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

@@ -13,6 +13,10 @@ val clustering_table :
 (** Per-cluster membership and load plus the quality metrics
     (inter-cluster volume, parallel time, critical-path locality). *)
 
+val metrics_table : ?snapshot:Umlfront_obs.Metrics.stat list -> unit -> string
+(** The observability metrics registry (default: the process-global
+    one) rendered as an aligned table, one row per metric. *)
+
 val caam_tree : Umlfront_simulink.Model.t -> string
 (** Indented CPU-SS / Thread-SS / channel hierarchy, the shape Fig. 8
     shows. *)

@@ -182,14 +182,50 @@ let default_stimulus name round =
   let h = float_of_int (Hashtbl.hash name mod 10) in
   sin ((float_of_int round +. h) /. 5.0)
 
+module Obs = Umlfront_obs
+
+(* Tokens crossing each channel protocol: in an SDF round every edge
+   carries exactly one token, so per-round occupancy per protocol is
+   the number of edges using it and the total traffic is that times
+   the rounds executed.  This is what answers "how many tokens crossed
+   each GFIFO channel?" without touching the per-firing hot loop. *)
+let channel_metrics sdf rounds =
+  let count proto =
+    List.length
+      (List.filter
+         (fun (e : Sdf.edge) -> List.exists (fun (_, p) -> String.equal p proto) e.Sdf.edge_channels)
+         sdf.Sdf.edges)
+  in
+  List.iter
+    (fun proto ->
+      let edges = count proto in
+      if edges > 0 then (
+        Obs.Metrics.set_gauge
+          (Printf.sprintf "exec.channel_occupancy.%s" (String.lowercase_ascii proto))
+          (float_of_int edges);
+        Obs.Metrics.incr
+          (Printf.sprintf "exec.tokens.%s" (String.lowercase_ascii proto))
+          ~by:(edges * rounds)))
+    [ "GFIFO"; "SWFIFO" ]
+
 let run ?sfunctions ?stimulus ~rounds sdf =
+  Obs.Trace.with_span ~cat:"exec" "exec.run"
+    ~args:(fun () ->
+      [
+        ("rounds", Obs.Json.Int rounds);
+        ("actors", Obs.Json.Int (List.length sdf.Sdf.actors));
+      ])
+  @@ fun () ->
   let stimulus = Option.value stimulus ~default:default_stimulus in
   let session = start ?sfunctions sdf in
   let traces =
     List.map (fun name -> (name, Array.make rounds 0.0)) sdf.Sdf.graph_outputs
   in
+  let observing = Obs.Trace.enabled () in
   for round = 0 to rounds - 1 do
+    let t0 = if observing then Obs.Trace.now_us () else 0.0 in
     let samples = step session ~stimulus:(fun name -> stimulus name round) in
+    if observing then Obs.Metrics.observe "exec.round_us" (Obs.Trace.now_us () -. t0);
     List.iter
       (fun (port, v) ->
         match List.assoc_opt port traces with
@@ -197,13 +233,17 @@ let run ?sfunctions ?stimulus ~rounds sdf =
         | None -> ())
       samples
   done;
-  {
-    rounds;
-    traces;
-    firings =
-      List.map
-        (fun (a : Sdf.actor) ->
-          ( a.Sdf.actor_name,
-            Option.value (Hashtbl.find_opt session.firings a.Sdf.actor_name) ~default:0 ))
-        sdf.Sdf.actors;
-  }
+  let firings =
+    List.map
+      (fun (a : Sdf.actor) ->
+        ( a.Sdf.actor_name,
+          Option.value (Hashtbl.find_opt session.firings a.Sdf.actor_name) ~default:0 ))
+      sdf.Sdf.actors
+  in
+  Obs.Metrics.incr "exec.rounds" ~by:rounds;
+  Obs.Metrics.incr "exec.firings" ~by:(List.fold_left (fun acc (_, n) -> acc + n) 0 firings);
+  List.iter
+    (fun (name, n) -> if n > 0 then Obs.Metrics.incr ("exec.firings." ^ name) ~by:n)
+    firings;
+  channel_metrics sdf rounds;
+  { rounds; traces; firings }

@@ -67,6 +67,50 @@ let schedule_csv sdf =
     (scheduled_rows sdf);
   Buffer.contents buf
 
+(* The same static schedule as [gantt], exported as Chrome trace-event
+   JSON: one pid per CPU, actors as Complete events, so the schedule
+   can be inspected in Perfetto next to a runtime profile from
+   Umlfront_obs.Trace. *)
+let chrome_json sdf =
+  let module Json = Umlfront_obs.Json in
+  let rows = scheduled_rows sdf in
+  let cpus =
+    List.fold_left
+      (fun acc (_, cpu, _, _, _) -> if List.mem cpu acc then acc else acc @ [ cpu ])
+      [] rows
+  in
+  let cpu_index c =
+    let rec find i = function
+      | [] -> 0
+      | x :: rest -> if String.equal x c then i else find (i + 1) rest
+    in
+    find 0 cpus
+  in
+  let events =
+    List.map
+      (fun (name, cpu, thread, start, finish) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("cat", Json.String "schedule");
+            ("ph", Json.String "X");
+            ("ts", Json.Float start);
+            ("dur", Json.Float (finish -. start));
+            ("pid", Json.Int (1 + cpu_index cpu));
+            ("tid", Json.Int 1);
+            ( "args",
+              Json.Obj
+                [
+                  ("cpu", Json.String cpu);
+                  ("thread", Json.String (Option.value thread ~default:"-"));
+                ] );
+          ])
+      rows
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ])
+
 let gantt ?(width = 60) sdf =
   let rows = scheduled_rows sdf in
   let horizon = List.fold_left (fun acc (_, _, _, _, f) -> Float.max acc f) 1.0 rows in

@@ -8,6 +8,11 @@ val schedule_csv : Sdf.t -> string
 (** The timing model's per-actor schedule:
     [actor,cpu,thread,start,finish]. *)
 
+val chrome_json : Sdf.t -> string
+(** The timing model's schedule as Chrome trace-event JSON (one pid
+    per CPU, actors as Complete events) — open in chrome://tracing or
+    Perfetto, next to a runtime profile from {!Umlfront_obs.Trace}. *)
+
 val gantt : ?width:int -> Sdf.t -> string
 (** ASCII Gantt chart of one iteration per CPU, from the timing
     model's schedule — a quick visual for reports. *)

@@ -1,0 +1,24 @@
+(* Structured events: one reporting path shared by every library.
+
+   An event goes (a) to Logs, formatted "name key=value ...", under the
+   caller's Logs source, and (b) into the trace sink as an instant
+   event when profiling is on.  Passes that already have a Logs source
+   keep it; passes that do not can use [default_src]. *)
+
+let default_src = Logs.Src.create "umlfront.obs" ~doc:"umlfront structured events"
+
+let field_to_string = function
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Printf.sprintf "%g" f
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "null"
+  | (Json.List _ | Json.Obj _) as v -> Json.to_string v
+
+let emit ?(level = Logs.Info) ?(src = default_src) ?(fields = []) name =
+  let module Log = (val Logs.src_log src : Logs.LOG) in
+  Log.msg level (fun m ->
+      m "%s%s" name
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (field_to_string v)) fields)));
+  Trace.instant ~cat:"event" ~args:fields name

@@ -1,0 +1,191 @@
+(* Process-global metrics registry: counters, gauges and histograms
+   that any pass may register into by name.  Cheap enough to leave on
+   unconditionally: recording is a hashtable lookup plus a couple of
+   field writes.
+
+   Histograms keep exact count/sum/min/max plus a bounded sample buffer
+   (ring of the most recent [max_samples]) from which p50/p95/p99 are
+   computed on snapshot. *)
+
+let max_samples = 8192
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_ring : float array;
+  mutable h_next : int; (* next write slot in the ring *)
+}
+
+type metric =
+  | Counter of { mutable c : int }
+  | Gauge of { mutable g : float }
+  | Histogram of histogram
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  mutable names : string list; (* registration order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 64; names = [] }
+
+(* The process-global registry that instrumented passes record into. *)
+let global = create ()
+
+let registry = function Some r -> r | None -> global
+
+let reset ?registry:r () =
+  let r = registry r in
+  Hashtbl.reset r.table;
+  r.names <- []
+
+let find_or_add r name make =
+  match Hashtbl.find_opt r.table name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace r.table name m;
+      r.names <- name :: r.names;
+      m
+
+let incr ?registry:r ?(by = 1) name =
+  match find_or_add (registry r) name (fun () -> Counter { c = 0 }) with
+  | Counter c -> c.c <- c.c + by
+  | Gauge _ | Histogram _ -> invalid_arg ("metrics: " ^ name ^ " is not a counter")
+
+let set_gauge ?registry:r name v =
+  match find_or_add (registry r) name (fun () -> Gauge { g = 0.0 }) with
+  | Gauge g -> g.g <- v
+  | Counter _ | Histogram _ -> invalid_arg ("metrics: " ^ name ^ " is not a gauge")
+
+let observe ?registry:r name v =
+  let make () =
+    Histogram
+      {
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+        h_ring = Array.make max_samples 0.0;
+        h_next = 0;
+      }
+  in
+  match find_or_add (registry r) name make with
+  | Histogram h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      h.h_ring.(h.h_next mod max_samples) <- v;
+      h.h_next <- h.h_next + 1
+  | Counter _ | Gauge _ -> invalid_arg ("metrics: " ^ name ^ " is not a histogram")
+
+(* Percentile with linear interpolation between closest ranks, over a
+   sorted array.  Exposed for the test suite. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+type stat = {
+  s_name : string;
+  s_kind : string; (* "counter" | "gauge" | "histogram" *)
+  s_count : int;
+  s_value : float; (* counter value / gauge value / histogram mean *)
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+}
+
+let stat_of r name =
+  match Hashtbl.find_opt r.table name with
+  | None -> None
+  | Some (Counter c) ->
+      Some
+        {
+          s_name = name;
+          s_kind = "counter";
+          s_count = c.c;
+          s_value = float_of_int c.c;
+          s_min = Float.nan;
+          s_max = Float.nan;
+          s_p50 = Float.nan;
+          s_p95 = Float.nan;
+          s_p99 = Float.nan;
+        }
+  | Some (Gauge g) ->
+      Some
+        {
+          s_name = name;
+          s_kind = "gauge";
+          s_count = 1;
+          s_value = g.g;
+          s_min = Float.nan;
+          s_max = Float.nan;
+          s_p50 = Float.nan;
+          s_p95 = Float.nan;
+          s_p99 = Float.nan;
+        }
+  | Some (Histogram h) ->
+      let kept = min h.h_count max_samples in
+      let sorted = Array.sub h.h_ring 0 kept in
+      Array.sort Float.compare sorted;
+      Some
+        {
+          s_name = name;
+          s_kind = "histogram";
+          s_count = h.h_count;
+          s_value = (if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count);
+          s_min = h.h_min;
+          s_max = h.h_max;
+          s_p50 = percentile sorted 50.0;
+          s_p95 = percentile sorted 95.0;
+          s_p99 = percentile sorted 99.0;
+        }
+
+let snapshot ?registry:r () =
+  let r = registry r in
+  List.filter_map (stat_of r) (List.sort String.compare r.names)
+
+let stat_json (s : stat) =
+  let base = [ ("name", Json.String s.s_name); ("kind", Json.String s.s_kind) ] in
+  let rest =
+    match s.s_kind with
+    | "counter" -> [ ("value", Json.Int s.s_count) ]
+    | "gauge" -> [ ("value", Json.Float s.s_value) ]
+    | _ ->
+        [
+          ("count", Json.Int s.s_count);
+          ("mean", Json.Float s.s_value);
+          ("min", Json.Float s.s_min);
+          ("max", Json.Float s.s_max);
+          ("p50", Json.Float s.s_p50);
+          ("p95", Json.Float s.s_p95);
+          ("p99", Json.Float s.s_p99);
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let to_json stats = Json.List (List.map stat_json stats)
+
+let table stats =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "  %-36s %-10s %10s %12s %12s %12s %12s\n" "metric" "kind" "count" "value/mean"
+    "p50" "p95" "p99";
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v in
+  List.iter
+    (fun s ->
+      out "  %-36s %-10s %10d %12s %12s %12s %12s\n" s.s_name s.s_kind s.s_count
+        (cell s.s_value) (cell s.s_p50) (cell s.s_p95) (cell s.s_p99))
+    stats;
+  Buffer.contents buf

@@ -1,0 +1,137 @@
+(* Flow-wide spans with a process-global sink serializing to Chrome
+   trace-event JSON (chrome://tracing / Perfetto "Complete" events).
+
+   The sink is off by default; [with_span] costs one branch when it is
+   disabled, so instrumentation can stay in hot paths permanently.
+   Timestamps are microseconds relative to [enable ()], wall clock.
+   Each span also records the bytes allocated on the OCaml heap while
+   it was open ("alloc_bytes" arg), which is what "where does the time
+   go" usually turns into on a 10k-block model. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char; (* 'X' complete, 'i' instant *)
+  ev_ts : float; (* microseconds since enable *)
+  ev_dur : float; (* microseconds; 0 for instants *)
+  ev_args : (string * Json.t) list;
+}
+
+type sink = {
+  mutable on : bool;
+  mutable t0 : float; (* Unix time at enable, seconds *)
+  mutable events : event list; (* newest first *)
+  mutable stack : string list; (* open span names, innermost first *)
+}
+
+let sink = { on = false; t0 = 0.0; events = []; stack = [] }
+
+let now_us () = (Unix.gettimeofday () -. sink.t0) *. 1e6
+
+let enabled () = sink.on
+
+let reset () =
+  sink.events <- [];
+  sink.stack <- []
+
+let enable () =
+  if not sink.on then (
+    sink.on <- true;
+    sink.t0 <- Unix.gettimeofday ());
+  reset ()
+
+let disable () = sink.on <- false
+
+let depth () = List.length sink.stack
+
+let events () = List.rev sink.events
+
+let record ev = sink.events <- ev :: sink.events
+
+let instant ?(cat = "event") ?(args = []) name =
+  if sink.on then
+    record { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = now_us (); ev_dur = 0.0; ev_args = args }
+
+(* [args] is a thunk so that argument computation (block counts, etc.)
+   costs nothing when the sink is disabled. *)
+let with_span ?(cat = "span") ?args name f =
+  if not sink.on then f ()
+  else begin
+    let ts = now_us () in
+    let alloc0 = Gc.allocated_bytes () in
+    sink.stack <- name :: sink.stack;
+    let close extra =
+      sink.stack <- (match sink.stack with _ :: rest -> rest | [] -> []);
+      let alloc = Gc.allocated_bytes () -. alloc0 in
+      let computed = match args with Some g -> g () | None -> [] in
+      record
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ph = 'X';
+          ev_ts = ts;
+          ev_dur = now_us () -. ts;
+          ev_args = (("alloc_bytes", Json.Float alloc) :: computed) @ extra;
+        }
+    in
+    match f () with
+    | v ->
+        close [];
+        v
+    | exception e ->
+        close [ ("error", Json.String (Printexc.to_string e)) ];
+        raise e
+  end
+
+(* Duration of the most recent complete span with [name], in
+   microseconds.  Used by the bench harness to pull per-phase timings
+   back out of the sink. *)
+let last_dur_us name =
+  let rec find = function
+    | [] -> None
+    | ev :: rest ->
+        if ev.ev_ph = 'X' && String.equal ev.ev_name name then Some ev.ev_dur else find rest
+  in
+  find sink.events
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String ev.ev_cat);
+      ("ph", Json.String (String.make 1 ev.ev_ph));
+      ("ts", Json.Float ev.ev_ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let dur = if ev.ev_ph = 'X' then [ ("dur", Json.Float ev.ev_dur) ] else [] in
+  let args = match ev.ev_args with [] -> [] | l -> [ ("args", Json.Obj l) ] in
+  Json.Obj (base @ dur @ args)
+
+(* Chrome trace "object format": the required traceEvents array plus
+   otherData carrying a metrics snapshot, which Perfetto ignores and
+   humans (and the bench harness) read. *)
+let to_json ?(metrics = []) () =
+  let sorted =
+    List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts) (List.rev sink.events)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json sorted));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("tool", Json.String "umlfront");
+            ("metrics", Metrics.to_json metrics);
+          ] );
+    ]
+
+let to_string ?metrics () = Json.to_string (to_json ?metrics ())
+
+let write ?metrics path =
+  let oc = open_out path in
+  output_string oc (to_string ?metrics ());
+  output_char oc '\n';
+  close_out oc

@@ -193,6 +193,19 @@ and add_block_of_node sys node =
   | _, _ -> System.add_block ~params sys ty name
 
 let parse_string input =
+  let model = ref None in
+  Umlfront_obs.Trace.with_span ~cat:"mdl" "mdl.parse"
+    ~args:(fun () ->
+      let blocks =
+        match !model with
+        | Some (m : Model.t) -> System.total_blocks m.Model.root
+        | None -> 0
+      in
+      [
+        ("bytes", Umlfront_obs.Json.Int (String.length input));
+        ("blocks", Umlfront_obs.Json.Int blocks);
+      ])
+  @@ fun () ->
   let root = parse_tree input in
   if not (String.equal root.section "Model") then
     raise (Error { line = 0; message = "root section must be Model" });
@@ -205,7 +218,14 @@ let parse_string input =
   let stop_time =
     match field_opt root "StopTime" with Some s -> float_of_string s | None -> 10.0
   in
-  Model.make ~solver ~stop_time ~name:(field root "Name") (system_of_node sys_node)
+  let m =
+    Model.make ~solver ~stop_time ~name:(field root "Name") (system_of_node sys_node)
+  in
+  model := Some m;
+  Umlfront_obs.Metrics.incr "mdl.parse.models";
+  Umlfront_obs.Metrics.incr "mdl.parse.bytes" ~by:(String.length input);
+  Umlfront_obs.Metrics.incr "mdl.parse.blocks" ~by:(System.total_blocks m.Model.root);
+  m
 
 let parse_file path =
   let ic = open_in_bin path in

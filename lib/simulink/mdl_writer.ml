@@ -61,6 +61,14 @@ and write_line buf indent (l : System.line) =
   Buffer.add_string buf "}\n"
 
 let to_string (m : Model.t) =
+  let size = ref 0 in
+  Umlfront_obs.Trace.with_span ~cat:"mdl" "mdl.write"
+    ~args:(fun () ->
+      [
+        ("bytes", Umlfront_obs.Json.Int !size);
+        ("blocks", Umlfront_obs.Json.Int (System.total_blocks m.Model.root));
+      ])
+  @@ fun () ->
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "Model {\n";
   field buf "  " "Name" (quote m.Model.model_name);
@@ -68,6 +76,8 @@ let to_string (m : Model.t) =
   field buf "  " "StopTime" (quote (Printf.sprintf "%.17g" m.Model.stop_time));
   write_system buf "  " m.Model.root;
   Buffer.add_string buf "}\n";
+  size := Buffer.length buf;
+  Umlfront_obs.Metrics.incr "mdl.write.bytes" ~by:(Buffer.length buf);
   Buffer.contents buf
 
 let save m path =

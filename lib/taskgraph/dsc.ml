@@ -6,6 +6,9 @@
 type cluster = { mutable members : Graph.node_id list; mutable finish : float }
 
 let run g =
+  Umlfront_obs.Trace.with_span ~cat:"taskgraph" "taskgraph.dsc"
+    ~args:(fun () -> [ ("nodes", Umlfront_obs.Json.Int (Graph.node_count g)) ])
+  @@ fun () ->
   let order = Algo.topological_sort g in
   let blevel = Algo.bottom_level g in
   let cluster_of : (Graph.node_id, cluster) Hashtbl.t = Hashtbl.create 32 in
@@ -66,9 +69,14 @@ let run g =
               | Some _ | None -> Some (c, t))
             None candidates
         in
+        Umlfront_obs.Metrics.incr "taskgraph.dsc.steps";
         let cluster, start =
           match best with
-          | Some (c, t) when t <= alone -> (c, t)
+          | Some (c, t) when t <= alone ->
+              (* Extending the predecessor's cluster zeroes the incoming
+                 edge (the DSC move the paper's §4.2.3 relies on). *)
+              Umlfront_obs.Metrics.incr "taskgraph.dsc.zeroed_edges";
+              (c, t)
           | Some _ | None -> ({ members = []; finish = 0.0 }, alone)
         in
         cluster.members <- id :: cluster.members;

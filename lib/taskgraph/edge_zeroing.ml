@@ -12,7 +12,9 @@ let run g =
         if
           Clustering.parallel_time g merged
           <= Clustering.parallel_time g clustering +. 1e-9
-        then merged
+        then (
+          Umlfront_obs.Metrics.incr "taskgraph.ez.zeroed_edges";
+          merged)
         else clustering)
     (Clustering.singleton_per_node g)
     edges

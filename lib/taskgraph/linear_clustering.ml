@@ -11,6 +11,9 @@ let induced g keep =
               (Graph.edges g))
 
 let run g =
+  Umlfront_obs.Trace.with_span ~cat:"taskgraph" "taskgraph.linear_clustering"
+    ~args:(fun () -> [ ("nodes", Umlfront_obs.Json.Int (Graph.node_count g)) ])
+  @@ fun () ->
   if not (Algo.is_acyclic g) then
     (match Algo.find_cycle g with
     | Some c -> raise (Algo.Cycle c)
@@ -19,13 +22,16 @@ let run g =
     match remaining with
     | [] -> List.rev clusters
     | _ :: _ ->
+        Umlfront_obs.Metrics.incr "taskgraph.lc.iterations";
         let sub = induced g remaining in
         let path, _ = Algo.critical_path sub in
         let path = if path = [] then [ List.hd remaining ] else path in
         let rest = List.filter (fun id -> not (List.mem id path)) remaining in
         loop rest (path :: clusters)
   in
-  Clustering.of_groups (loop (Graph.nodes g) [])
+  let groups = loop (Graph.nodes g) [] in
+  Umlfront_obs.Metrics.incr "taskgraph.lc.clusters" ~by:(List.length groups);
+  Clustering.of_groups groups
 
 let cluster_load g group =
   List.fold_left (fun acc id -> acc +. Graph.node_weight g id) 0.0 group

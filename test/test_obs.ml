@@ -1,0 +1,193 @@
+(* Umlfront_obs: span nesting, metrics/histogram percentiles, and the
+   Chrome trace-event JSON shape. *)
+
+module Obs = Umlfront_obs
+module Json = Umlfront_obs.Json
+module Metrics = Umlfront_obs.Metrics
+module Trace = Umlfront_obs.Trace
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let feq = Alcotest.float 1e-6
+
+(* --- JSON serializer ------------------------------------------------ *)
+
+let json_escaping () =
+  check Alcotest.string "escapes" "{\"a\\\"b\":\"x\\ny\\tz\\\\\"}"
+    (Json.to_string (Json.Obj [ ("a\"b", Json.String "x\ny\tz\\") ]));
+  check Alcotest.string "scalars" "[null,true,42,-1,1.500000]"
+    (Json.to_string
+       (Json.List [ Json.Null; Json.Bool true; Json.Int 42; Json.Int (-1); Json.Float 1.5 ]));
+  check Alcotest.string "integral floats printed as integers" "[3,null]"
+    (Json.to_string (Json.List [ Json.Float 3.0; Json.Float Float.nan ]))
+
+(* --- metrics registry ------------------------------------------------ *)
+
+let fresh () = Metrics.create ()
+
+let counters_and_gauges () =
+  let r = fresh () in
+  Metrics.incr ~registry:r "a";
+  Metrics.incr ~registry:r ~by:4 "a";
+  Metrics.set_gauge ~registry:r "g" 2.5;
+  Metrics.set_gauge ~registry:r "g" 7.25;
+  match Metrics.snapshot ~registry:r () with
+  | [ a; g ] ->
+      check Alcotest.string "counter name" "a" a.Metrics.s_name;
+      check Alcotest.int "counter value" 5 a.Metrics.s_count;
+      check Alcotest.string "gauge name" "g" g.Metrics.s_name;
+      check feq "gauge keeps last value" 7.25 g.Metrics.s_value
+  | l -> Alcotest.failf "expected 2 stats, got %d" (List.length l)
+
+let histogram_percentiles () =
+  let r = fresh () in
+  (* 1..100 shuffled deterministically: percentiles must not depend on
+     arrival order. *)
+  List.iter
+    (fun i -> Metrics.observe ~registry:r "h" (float_of_int (((i * 37) mod 100) + 1)))
+    (List.init 100 (fun i -> i));
+  match Metrics.snapshot ~registry:r () with
+  | [ h ] ->
+      check Alcotest.int "count" 100 h.Metrics.s_count;
+      check feq "mean" 50.5 h.Metrics.s_value;
+      check feq "min" 1.0 h.Metrics.s_min;
+      check feq "max" 100.0 h.Metrics.s_max;
+      check feq "p50" 50.5 h.Metrics.s_p50;
+      check feq "p95" 95.05 h.Metrics.s_p95;
+      check feq "p99" 99.01 h.Metrics.s_p99
+  | l -> Alcotest.failf "expected 1 stat, got %d" (List.length l)
+
+let percentile_edge_cases () =
+  check feq "single sample" 7.0 (Metrics.percentile [| 7.0 |] 99.0);
+  check feq "p0 is min" 1.0 (Metrics.percentile [| 1.0; 2.0; 3.0 |] 0.0);
+  check feq "p100 is max" 3.0 (Metrics.percentile [| 1.0; 2.0; 3.0 |] 100.0);
+  check feq "interpolates" 1.5 (Metrics.percentile [| 1.0; 2.0 |] 50.0);
+  check Alcotest.bool "empty is nan" true (Float.is_nan (Metrics.percentile [||] 50.0))
+
+let kind_mismatch () =
+  let r = fresh () in
+  Metrics.incr ~registry:r "x";
+  Alcotest.check_raises "gauge on counter"
+    (Invalid_argument "metrics: x is not a gauge") (fun () ->
+      Metrics.set_gauge ~registry:r "x" 1.0)
+
+(* --- spans ----------------------------------------------------------- *)
+
+let span_nesting () =
+  Trace.enable ();
+  let r =
+    Trace.with_span "outer" (fun () ->
+        check Alcotest.int "depth inside outer" 1 (Trace.depth ());
+        Trace.with_span "inner" (fun () ->
+            check Alcotest.int "depth inside inner" 2 (Trace.depth ());
+            17))
+  in
+  check Alcotest.int "return value" 17 r;
+  check Alcotest.int "depth restored" 0 (Trace.depth ());
+  let events = Trace.events () in
+  check Alcotest.int "two complete events" 2 (List.length events);
+  let find name = List.find (fun e -> e.Trace.ev_name = name) events in
+  let outer = find "outer" and inner = find "inner" in
+  check Alcotest.bool "inner starts after outer" true (inner.Trace.ev_ts >= outer.Trace.ev_ts);
+  check Alcotest.bool "inner contained in outer" true
+    (inner.Trace.ev_ts +. inner.Trace.ev_dur
+    <= outer.Trace.ev_ts +. outer.Trace.ev_dur +. 1e-6);
+  check Alcotest.bool "alloc arg recorded" true
+    (List.mem_assoc "alloc_bytes" outer.Trace.ev_args);
+  Trace.disable ()
+
+let span_exception_safety () =
+  Trace.enable ();
+  (try Trace.with_span "boom" (fun () -> failwith "kaput") with Failure _ -> ());
+  check Alcotest.int "depth restored after raise" 0 (Trace.depth ());
+  let events = Trace.events () in
+  check Alcotest.int "span still recorded" 1 (List.length events);
+  check Alcotest.bool "error arg set" true
+    (List.mem_assoc "error" (List.hd events).Trace.ev_args);
+  Trace.disable ()
+
+let disabled_sink_records_nothing () =
+  Trace.disable ();
+  Trace.reset ();
+  Trace.with_span "ghost" (fun () -> Trace.instant "ghost-instant");
+  check Alcotest.int "no events when disabled" 0 (List.length (Trace.events ()))
+
+(* --- Chrome trace JSON shape ----------------------------------------- *)
+
+let chrome_trace_shape () =
+  Trace.enable ();
+  Trace.with_span ~cat:"flow" "phase" (fun () -> Trace.instant "tick");
+  let r = fresh () in
+  Metrics.incr ~registry:r "n";
+  Metrics.observe ~registry:r "h" 1.0;
+  let doc = Trace.to_json ~metrics:(Metrics.snapshot ~registry:r ()) () in
+  Trace.disable ();
+  let events = Json.items (Option.get (Json.member "traceEvents" doc)) in
+  check Alcotest.int "two trace events" 2 (List.length events);
+  let phases =
+    List.filter_map
+      (fun e -> match Json.member "ph" e with Some (Json.String s) -> Some s | _ -> None)
+      events
+  in
+  check Alcotest.bool "has complete + instant phases" true
+    (List.mem "X" phases && List.mem "i" phases);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun key ->
+          check Alcotest.bool (key ^ " present") true (Json.member key e <> None))
+        [ "name"; "cat"; "ph"; "ts"; "pid"; "tid" ])
+    events;
+  (match Json.member "otherData" doc with
+  | Some other ->
+      let metrics = Json.items (Option.get (Json.member "metrics" other)) in
+      check Alcotest.int "metrics snapshot embedded" 2 (List.length metrics);
+      List.iter
+        (fun m ->
+          match Json.member "kind" m with
+          | Some (Json.String ("counter" | "gauge" | "histogram")) -> ()
+          | _ -> Alcotest.fail "metric kind missing")
+        metrics
+  | None -> Alcotest.fail "otherData missing");
+  (* ts must be sorted ascending, as Perfetto expects for X events. *)
+  let ts =
+    List.filter_map
+      (fun e -> match Json.member "ts" e with Some (Json.Float t) -> Some t | _ -> None)
+      events
+  in
+  check Alcotest.bool "timestamps sorted" true (List.sort Float.compare ts = ts)
+
+let events_api_logs_and_traces () =
+  Trace.enable ();
+  Obs.Events.emit ~fields:[ ("k", Json.Int 3) ] "something.happened";
+  let events = Trace.events () in
+  check Alcotest.int "instant event recorded" 1 (List.length events);
+  check Alcotest.string "event name" "something.happened" (List.hd events).Trace.ev_name;
+  Trace.disable ()
+
+let metrics_table_renders () =
+  let r = fresh () in
+  Metrics.incr ~registry:r ~by:3 "flow.runs";
+  Metrics.observe ~registry:r "lat" 1.0;
+  Metrics.observe ~registry:r "lat" 3.0;
+  let table = Metrics.table (Metrics.snapshot ~registry:r ()) in
+  check Alcotest.bool "has counter row" true (Astring_contains.contains table "flow.runs");
+  check Alcotest.bool "has histogram row" true (Astring_contains.contains table "histogram")
+
+let suite =
+  [
+    ( "obs",
+      [
+        test "json escaping" json_escaping;
+        test "counters and gauges" counters_and_gauges;
+        test "histogram percentiles" histogram_percentiles;
+        test "percentile edge cases" percentile_edge_cases;
+        test "kind mismatch rejected" kind_mismatch;
+        test "span nesting" span_nesting;
+        test "span exception safety" span_exception_safety;
+        test "disabled sink records nothing" disabled_sink_records_nothing;
+        test "chrome trace shape" chrome_trace_shape;
+        test "structured events reach the sink" events_api_logs_and_traces;
+        test "metrics table renders" metrics_table_renders;
+      ] );
+  ]
