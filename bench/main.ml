@@ -10,7 +10,14 @@
    the Umlfront_obs instrumentation layer and writes BENCH_obs.json
    (per-phase ms, blocks/s parsed, actor firings/s) so later PRs have a
    perf trajectory to regress against, plus the instrumentation
-   overhead on the synthetic flow. *)
+   overhead on the synthetic flow.  Part 5 runs the multicore scaling
+   study — DSE sweeps and level-parallel SDF execution across 1/2/4
+   domains on random pipeline models — and writes BENCH_parallel.json.
+
+   Flags: -v/--verbose (Logs to stderr), --smoke (small models/rounds,
+   skip the Bechamel micro-benchmarks — what CI's bench-smoke job
+   runs), -o/--output-dir DIR (where the BENCH_*.json files land,
+   default "."). *)
 
 module U = Umlfront_uml
 module Core = Umlfront_core
@@ -32,6 +39,7 @@ module Timing = Umlfront_dataflow.Timing
 module Cs = Umlfront_casestudies
 module Obs = Umlfront_obs
 module Json = Umlfront_obs.Json
+module Pool = Umlfront_parallel.Pool
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -361,10 +369,10 @@ let flow_phases =
     "flow.layout"; "flow.emit"; "flow.fsm";
   ]
 
-let instrumented_case name uml_fn strategy =
+let instrumented_case ~smoke name uml_fn strategy =
   Obs.Metrics.reset ();
   Obs.Trace.enable ();
-  let rounds = 100 in
+  let rounds = if smoke then 20 else 100 in
   let t0 = Unix.gettimeofday () in
   let out = Core.Flow.run ~strategy (uml_fn ()) in
   let sdf = Sdf.of_model out.Core.Flow.caam in
@@ -405,8 +413,8 @@ let instrumented_case name uml_fn strategy =
 (* Mean wall-clock of the synthetic 12-thread flow with the span sink
    on vs. off — the acceptance bar for leaving instrumentation in hot
    paths permanently is < 5% overhead. *)
-let instrumentation_overhead () =
-  let reps = 30 in
+let instrumentation_overhead ~smoke () =
+  let reps = if smoke then 5 else 30 in
   let measure enabled =
     if enabled then Obs.Trace.enable () else Obs.Trace.disable ();
     for _ = 1 to 3 do
@@ -433,40 +441,181 @@ let instrumentation_overhead () =
       ("percent", Json.Float percent);
     ]
 
-let observability_bench () =
-  section "Part 4 — observability: instrumented flows (BENCH_obs.json)";
-  let crane = instrumented_case "crane" Cs.Crane_system.model Core.Flow.Use_deployment in
-  let synthetic =
-    instrumented_case "synthetic" Cs.Synthetic_system.model Core.Flow.Infer_linear
-  in
-  let mjpeg = instrumented_case "mjpeg" Cs.Mjpeg_system.model Core.Flow.Prefer_deployment in
-  let cases = [ crane; synthetic; mjpeg ] in
-  let overhead = instrumentation_overhead () in
-  let doc =
-    Json.Obj
-      [
-        ("schema", Json.String "umlfront-bench-obs/1");
-        ("cases", Json.List cases);
-        ("overhead", overhead);
-      ]
-  in
-  let oc = open_out "BENCH_obs.json" in
+let write_json ~outdir file doc =
+  let path = Filename.concat outdir file in
+  let oc = open_out path in
   output_string oc (Json.to_string doc);
   output_char oc '\n';
   close_out oc;
-  print_endline "  wrote BENCH_obs.json"
+  Printf.printf "  wrote %s\n" path
+
+let observability_bench ~smoke ~outdir () =
+  section "Part 4 — observability: instrumented flows (BENCH_obs.json)";
+  let crane =
+    instrumented_case ~smoke "crane" Cs.Crane_system.model Core.Flow.Use_deployment
+  in
+  let synthetic =
+    instrumented_case ~smoke "synthetic" Cs.Synthetic_system.model Core.Flow.Infer_linear
+  in
+  let mjpeg =
+    instrumented_case ~smoke "mjpeg" Cs.Mjpeg_system.model Core.Flow.Prefer_deployment
+  in
+  let cases = [ crane; synthetic; mjpeg ] in
+  let overhead = instrumentation_overhead ~smoke () in
+  write_json ~outdir "BENCH_obs.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "umlfront-bench-obs/1");
+         ("cases", Json.List cases);
+         ("overhead", overhead);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Part 5: multicore scaling — BENCH_parallel.json                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of [f], best of [reps] runs (first run doubles as
+   warm-up on the repeated configurations). *)
+let best_of reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    result := Some r;
+    if ms < !best then best := ms
+  done;
+  (Option.get !result, !best)
+
+let parallel_scaling ~smoke ~outdir () =
+  section "Part 5 — multicore scaling study (BENCH_parallel.json)";
+  Obs.Metrics.reset ();
+  Obs.Trace.disable ();
+  let reps = if smoke then 1 else 3 in
+  let domain_counts = [ 1; 2; 4 ] in
+  Printf.printf "  hardware domains available: %d\n" (Pool.cpu_count ());
+  (* A sweep: run [run pool] at each domain count, sequential first as
+     the baseline, and check the parallel results stay bit-identical
+     (polymorphic equality over the result — floats and all). *)
+  let sweep (run : ?pool:Pool.t -> unit -> _) =
+    let baseline, seq_ms = best_of reps (fun () -> run ()) in
+    List.map
+      (fun domains ->
+        if domains <= 1 then (domains, seq_ms, 1.0, true)
+        else
+          Pool.with_pool ~domains (fun pool ->
+              let r, ms = best_of reps (fun () -> run ~pool ()) in
+              (domains, ms, seq_ms /. ms, r = baseline)))
+      domain_counts
+  in
+  let print_rows label rows =
+    List.iter
+      (fun (domains, ms, speedup, identical) ->
+        row "  %-10s %d domains: %8.2f ms  speedup %5.2fx  %s\n" label domains ms
+          speedup
+          (if identical then "[identical]" else "[DIVERGED]"))
+      rows
+  in
+  let rows_json rows =
+    Json.List
+      (List.map
+         (fun (domains, ms, speedup, identical) ->
+           Json.Obj
+             [
+               ("domains", Json.Int domains);
+               ("ms", Json.Float ms);
+               ("speedup", Json.Float speedup);
+               ("identical", Json.Bool identical);
+             ])
+         rows)
+  in
+  (* DSE: every CPU-count candidate runs the full synthesis + timing
+     pipeline, independently per candidate — the embarrassingly
+     parallel sweep the paper's §6 estimation step implies. *)
+  let threads = if smoke then 8 else 16 in
+  let seeds = if smoke then [ 11 ] else [ 11; 23; 37 ] in
+  let models =
+    List.map
+      (fun seed -> Cs.Random_models.pipeline ~seed ~threads ~extra_edges:(threads / 2))
+      seeds
+  in
+  let dse_rows =
+    sweep (fun ?pool () -> List.map (fun m -> Core.Dse.explore ?pool m) models)
+  in
+  print_rows "dse" dse_rows;
+  (* Level-parallel SDF execution on a wide scatter/gather model —
+     the level width (= branches) is what the executor scales with. *)
+  let branches = if smoke then 6 else 16 in
+  let depth = if smoke then 3 else 6 in
+  let rounds = if smoke then 50 else 200 in
+  let caam =
+    (Core.Flow.run ~strategy:Core.Flow.Infer_linear
+       (Cs.Random_models.wide ~seed:42 ~branches ~depth))
+      .Core.Flow.caam
+  in
+  let sdf = Sdf.of_model caam in
+  let lvls = Exec.levels sdf in
+  let widest = List.fold_left (fun acc l -> max acc (List.length l)) 0 lvls in
+  row "  exec model: %d actors in %d levels (widest %d), %d rounds\n"
+    (List.length sdf.Sdf.actors) (List.length lvls) widest rounds;
+  let exec_rows = sweep (fun ?pool () -> Exec.run ?pool ~rounds sdf) in
+  print_rows "exec" exec_rows;
+  let all_identical =
+    List.for_all (fun (_, _, _, id) -> id) (dse_rows @ exec_rows)
+  in
+  row "  determinism: parallel results %s sequential baselines\n"
+    (if all_identical then "bit-identical to" else "DIVERGED from");
+  write_json ~outdir "BENCH_parallel.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "umlfront-bench-parallel/1");
+         ("hardware_domains", Json.Int (Pool.cpu_count ()));
+         ("smoke", Json.Bool smoke);
+         ( "dse",
+           Json.Obj
+             [
+               ("models", Json.Int (List.length models));
+               ("threads_per_model", Json.Int threads);
+               ("sweeps", rows_json dse_rows);
+             ] );
+         ( "exec",
+           Json.Obj
+             [
+               ("actors", Json.Int (List.length sdf.Sdf.actors));
+               ("levels", Json.Int (List.length lvls));
+               ("widest_level", Json.Int widest);
+               ("rounds", Json.Int rounds);
+               ("sweeps", rows_json exec_rows);
+             ] );
+         ("identical", Json.Bool all_identical);
+       ])
 
 let () =
-  (* Same -v/--verbose switch as bin/umlfront: structured Logs events
-     from the instrumented passes go to stderr. *)
-  let verbosity =
-    Array.fold_left
-      (fun acc arg -> match arg with "-v" | "--verbose" -> acc + 1 | _ -> acc)
-      0 Sys.argv
+  (* -v/--verbose as in bin/umlfront; --smoke for the reduced CI run;
+     -o/--output-dir DIR for where the BENCH_*.json files land. *)
+  let rec parse (verbosity, smoke, outdir) = function
+    | [] -> (verbosity, smoke, outdir)
+    | ("-v" | "--verbose") :: rest -> parse (verbosity + 1, smoke, outdir) rest
+    | "--smoke" :: rest -> parse (verbosity, true, outdir) rest
+    | ("-o" | "--output-dir") :: dir :: rest -> parse (verbosity, smoke, dir) rest
+    | arg :: rest when String.starts_with ~prefix:"--output-dir=" arg ->
+        let dir =
+          String.sub arg (String.length "--output-dir=")
+            (String.length arg - String.length "--output-dir=")
+        in
+        parse (verbosity, smoke, dir) rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n%!" arg;
+        exit 2
+  in
+  let verbosity, smoke, outdir =
+    parse (0, false, ".") (List.tl (Array.to_list Sys.argv))
   in
   if verbosity > 0 then (
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbosity > 1 then Logs.Debug else Logs.Info)));
+  if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
   print_endline "umlfront experiment harness — paper figures, ablations, benchmarks";
   fig3_didactic ();
   fig5_crane ();
@@ -476,6 +625,7 @@ let () =
   timing_ablation ();
   bounded_platform_ablation ();
   dse_sweep ();
-  microbenchmarks ();
-  observability_bench ();
+  if not smoke then microbenchmarks ();
+  observability_bench ~smoke ~outdir ();
+  parallel_scaling ~smoke ~outdir ();
   print_endline "\ndone."

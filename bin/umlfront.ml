@@ -26,6 +26,7 @@ module Core = Umlfront_core
 module Dataflow = Umlfront_dataflow
 module Codegen = Umlfront_codegen
 module Obs = Umlfront_obs
+module Pool = Umlfront_parallel.Pool
 open Cmdliner
 
 (* Convert the tool's failure exceptions into proper Cmdliner
@@ -69,6 +70,21 @@ let cpus_arg =
 let rounds_arg =
   let doc = "Number of execution rounds." in
   Arg.(value & opt int 10 & info [ "n"; "rounds" ] ~docv:"ROUNDS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Compute on $(docv) domains (0 = all the hardware offers). 1 keeps the \
+     run sequential; results are identical either way."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+(* Run [f] with a domain pool of the requested size ([0] = hardware
+   cores), shut down afterwards.  jobs <= 1 skips pool creation. *)
+let with_jobs jobs f =
+  if jobs = 1 then f None
+  else
+    let domains = if jobs <= 0 then Pool.cpu_count () else jobs in
+    Pool.with_pool ~domains (fun pool -> f (Some pool))
 
 let out_arg =
   let doc = "Output file." in
@@ -120,16 +136,18 @@ let example_cmd =
         $ name_arg $ out_arg))
 
 let dse_cmd =
-  let action path max_cpus =
-    let result = Core.Dse.explore ?max_cpus (load path) in
+  let action path max_cpus jobs =
+    let result =
+      with_jobs jobs (fun pool -> Core.Dse.explore ?max_cpus ?pool (load path))
+    in
     print_string (Core.Dse.summary result)
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Design-space exploration: sweep CPU counts, report Pareto set")
     Term.(
       term_result'
-        (const (fun path cpus -> protect (fun () -> action path cpus))
-        $ uml_arg $ cpus_arg))
+        (const (fun path cpus jobs -> protect (fun () -> action path cpus jobs))
+        $ uml_arg $ cpus_arg $ jobs_arg))
 
 let partition_cmd =
   let action path threads out =
@@ -263,10 +281,10 @@ let allocate_cmd =
         $ uml_arg $ dot_arg))
 
 let simulate_cmd =
-  let action path strategy cpus rounds csv gantt =
+  let action path strategy cpus rounds csv gantt jobs =
     let output = run_flow path strategy cpus in
     let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
-    let outcome = Dataflow.Exec.run ~rounds sdf in
+    let outcome = with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf) in
     if csv then print_string (Dataflow.Trace_export.traces_csv outcome)
     else
       List.iter
@@ -289,9 +307,10 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Map and execute the CAAM on the SDF simulator")
     Term.(
       term_result'
-        (const (fun path strategy cpus rounds csv gantt ->
-             protect (fun () -> action path strategy cpus rounds csv gantt))
-        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg))
+        (const (fun path strategy cpus rounds csv gantt jobs ->
+             protect (fun () -> action path strategy cpus rounds csv gantt jobs))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg
+        $ jobs_arg))
 
 let codegen_cmd =
   let action path strategy cpus rounds dir lang =
@@ -447,16 +466,18 @@ let report_cmd =
         $ uml_arg $ strategy_arg $ cpus_arg))
 
 let stats_cmd =
-  let action path strategy cpus rounds =
+  let action path strategy cpus rounds jobs =
     (* Enable the span sink so per-round latency histograms populate;
        keep whatever a surrounding --profile already set up. *)
     if not (Obs.Trace.enabled ()) then Obs.Trace.enable ();
     let output = run_flow path strategy cpus in
     (* Exercise the rest of the pipeline so parser and executor
-       metrics appear alongside the flow's. *)
+       metrics appear alongside the flow's; with --jobs the executor
+       runs level-parallel, so pool occupancy and per-domain firings
+       land in the registry too. *)
     ignore (Umlfront_simulink.Mdl_parser.parse_string output.Core.Flow.mdl);
     let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
-    ignore (Dataflow.Exec.run ~rounds sdf);
+    ignore (with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf));
     print_string (Core.Report.metrics_table ())
   in
   Cmd.v
@@ -466,9 +487,9 @@ let stats_cmd =
           the metrics registry")
     Term.(
       term_result'
-        (const (fun path strategy cpus rounds ->
-             protect (fun () -> action path strategy cpus rounds))
-        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg))
+        (const (fun path strategy cpus rounds jobs ->
+             protect (fun () -> action path strategy cpus rounds jobs))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg))
 
 let () =
   (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)

@@ -58,6 +58,54 @@ let pipeline ~seed ~threads ~extra_edges =
     ~args:[ work_token (threads - 1) ];
   U.Builder.finish b
 
+let wide ~seed ~branches ~depth =
+  let state = Random.State.make [| seed |] in
+  let b = U.Builder.create (Printf.sprintf "wide%d" seed) in
+  let name bi d = Printf.sprintf "B%d_%d" bi d in
+  let threads =
+    ("SRC" :: List.concat_map
+       (fun bi -> List.init depth (fun d -> name bi d))
+       (List.init branches (fun bi -> bi)))
+    @ [ "SNK" ]
+  in
+  List.iter (U.Builder.thread b) threads;
+  U.Builder.io_device b "IO";
+  List.iter (fun th -> U.Builder.passive_object b ~cls:("W" ^ th) ("w" ^ th)) threads;
+  let bytes () = 1 + Random.State.int state 16 in
+  let work_token th = arg ("w" ^ th) (payload 4) in
+  let send ~src ~dst =
+    let token = arg (Printf.sprintf "t_%s_%s" src dst) (payload (bytes ())) in
+    U.Builder.call b ~from:src ~target:("w" ^ src)
+      (Printf.sprintf "pack_%s_%s" src dst)
+      ~args:[ work_token src ] ~result:token;
+    U.Builder.call b ~from:src ~target:dst (Printf.sprintf "Set_%s_%s" src dst)
+      ~args:[ token ];
+    token
+  in
+  U.Builder.call b ~from:"SRC" ~target:"IO" "getIn" ~result:(arg "x0" (payload 4));
+  U.Builder.call b ~from:"SRC" ~target:"wSRC" "work"
+    ~args:[ arg "x0" (payload 4) ]
+    ~result:(work_token "SRC");
+  let gathered =
+    List.map
+      (fun bi ->
+        List.fold_left
+          (fun prev d ->
+            let th = name bi d in
+            let token = send ~src:prev ~dst:th in
+            U.Builder.call b ~from:th ~target:("w" ^ th) "work" ~args:[ token ]
+              ~result:(work_token th);
+            th)
+          "SRC"
+          (List.init depth (fun d -> d)))
+      (List.init branches (fun bi -> bi))
+  in
+  let inputs = List.map (fun last -> send ~src:last ~dst:"SNK") gathered in
+  U.Builder.call b ~from:"SNK" ~target:"wSNK" "work" ~args:inputs
+    ~result:(work_token "SNK");
+  U.Builder.call b ~from:"SNK" ~target:"IO" "setOut" ~args:[ work_token "SNK" ];
+  U.Builder.finish b
+
 let monolithic ~seed ~calls =
   let state = Random.State.make [| seed |] in
   let b = U.Builder.create (Printf.sprintf "mono%d" seed) in

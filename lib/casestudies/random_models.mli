@@ -9,6 +9,14 @@ val pipeline : seed:int -> threads:int -> extra_edges:int -> Umlfront_uml.Model.
     IO read at the source, one IO write at the sink.  Always
     well-formed ({!Umlfront_uml.Validate}). *)
 
+val wide : seed:int -> branches:int -> depth:int -> Umlfront_uml.Model.t
+(** A scatter/gather application: a source thread fans out to
+    [branches] independent chains of [depth] threads each, gathered by
+    a sink — [2 + branches * depth] threads total.  Its SDF dependency
+    levels are [branches] wide, which is what the level-parallel
+    executor scales with; the narrow {!pipeline} shape is the
+    adversarial case.  Always well-formed. *)
+
 val monolithic : seed:int -> calls:int -> Umlfront_uml.Model.t
 (** A single-threaded model (one thread, a chain of functional calls
     with random fan-in over earlier tokens) — the input shape of the

@@ -1,6 +1,8 @@
 module U = Umlfront_uml
 module Sdf = Umlfront_dataflow.Sdf
 module Timing = Umlfront_dataflow.Timing
+module Pool = Umlfront_parallel.Pool
+module Obs = Umlfront_obs
 
 type candidate = {
   cpus : int;
@@ -39,17 +41,30 @@ let evaluate ?cost_model uml k =
     delays_inserted = out.Flow.delays_inserted;
   }
 
-let explore ?max_cpus ?cost_model uml =
+let explore ?max_cpus ?cost_model ?pool uml =
   let n_threads = List.length (U.Model.threads uml) in
   if n_threads = 0 then invalid_arg "dse: model has no threads";
   let limit = Option.value max_cpus ~default:n_threads in
   let limit = max 1 (min limit n_threads) in
+  (* Each candidate platform runs the whole synthesis + timing pipeline
+     independently, so the sweep maps across the domain pool when one
+     is supplied.  [evaluate] is deterministic and touches no shared
+     state beyond the (mutex-guarded) obs sink, so the parallel sweep
+     is bit-identical to the sequential one. *)
+  let sweep f ks =
+    match pool with
+    | Some p when Pool.size p > 1 ->
+        Obs.Metrics.incr "dse.parallel_sweeps";
+        Pool.map p f ks
+    | Some _ | None -> List.map f ks
+  in
   (* Bounding to k CPUs can yield fewer distinct clusters; keep one
      candidate per distinct platform size. *)
   let candidates =
-    List.init limit (fun i -> evaluate ?cost_model uml (i + 1))
+    sweep (fun k -> evaluate ?cost_model uml k) (List.init limit (fun i -> i + 1))
     |> List.sort_uniq (fun a b -> compare a.cpus b.cpus)
   in
+  Obs.Metrics.incr "dse.candidates" ~by:(List.length candidates);
   let best =
     List.fold_left
       (fun acc c ->

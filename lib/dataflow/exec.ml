@@ -2,6 +2,8 @@ module S = Umlfront_simulink.System
 module B = Umlfront_simulink.Block
 module G = Umlfront_taskgraph.Graph
 module Algo = Umlfront_taskgraph.Algo
+module Pool = Umlfront_parallel.Pool
+module Obs = Umlfront_obs
 
 exception Deadlock of string list
 
@@ -16,6 +18,37 @@ let firing_order sdf =
   match Algo.topological_sort g with
   | order -> order
   | exception Algo.Cycle cycle -> raise (Deadlock cycle)
+
+(* Dependency levels over the delay-cut dependence graph: an actor's
+   level is 1 + the max level of its non-UnitDelay predecessors.  Two
+   actors in the same level cannot depend on each other within a round
+   (a non-delay edge forces a strictly larger level; a delay edge reads
+   the previous round's snapshot), so a whole level may fire in any
+   order — or in parallel. *)
+let levels sdf =
+  let order = firing_order sdf in
+  let actor name =
+    match Sdf.find_actor sdf name with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "exec: unknown actor %s" name)
+  in
+  let level = Hashtbl.create 64 in
+  let level_of n = Option.value (Hashtbl.find_opt level n) ~default:0 in
+  List.iter
+    (fun name ->
+      let l =
+        List.fold_left
+          (fun acc (e : Sdf.edge) ->
+            if (actor e.Sdf.edge_src).Sdf.actor_block.S.blk_type = B.Unit_delay then acc
+            else max acc (1 + level_of e.Sdf.edge_src))
+          0 (Sdf.preds sdf name)
+      in
+      Hashtbl.replace level name l)
+    order;
+  let max_level = List.fold_left (fun acc n -> max acc (level_of n)) 0 order in
+  let buckets = Array.make (max_level + 1) [] in
+  List.iter (fun n -> buckets.(level_of n) <- n :: buckets.(level_of n)) order;
+  Array.to_list (Array.map List.rev buckets)
 
 let default_sfunction name inputs n_outputs =
   let h = Hashtbl.hash name in
@@ -178,11 +211,55 @@ let step t ~stimulus =
   t.round <- t.round + 1;
   List.rev !port_samples
 
+(* One round, level-parallel: each level's combinational behaviours are
+   computed across the pool while the session tables are read-only,
+   then all writes (outputs, delay state, firings, Outport samples) are
+   committed sequentially before the next level starts.  Per actor this
+   performs exactly the operations of the sequential [fire], on the
+   same inputs, so every float is bit-identical to [step]'s — the
+   levels only reorder independent actors. *)
+let step_parallel t pool lvls ~stimulus ~observing =
+  Hashtbl.reset t.outputs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.delay_snapshot k v) t.delay_state;
+  let port_samples = ref [] in
+  let compute name =
+    let a = session_actor t name in
+    let ins = input_values t a in
+    let outs =
+      match a.Sdf.actor_block.S.blk_type with
+      | B.Unit_delay | B.Inport | B.Outport -> [||] (* committed below *)
+      | _ -> behaviour ~sfunctions:t.sess_sfunctions a ins
+    in
+    if observing then
+      Obs.Metrics.incr (Printf.sprintf "exec.firings.d%d" (Domain.self () :> int));
+    (a, ins, outs)
+  in
+  let commit ((a : Sdf.actor), ins, outs) =
+    let set port v = Hashtbl.replace t.outputs ((a.Sdf.actor_name, port) : string * int) v in
+    (match a.Sdf.actor_block.S.blk_type with
+    | B.Unit_delay ->
+        Hashtbl.replace t.delay_state a.Sdf.actor_name
+          (if a.Sdf.actor_inputs > 0 then ins.(0) else 0.0)
+    | B.Inport -> set 1 (stimulus a.Sdf.actor_name)
+    | B.Outport ->
+        let v = if a.Sdf.actor_inputs > 0 then ins.(0) else 0.0 in
+        port_samples := (a.Sdf.actor_name, v) :: !port_samples
+    | _ -> Array.iteri (fun j v -> set (j + 1) v) outs);
+    Hashtbl.replace t.firings a.Sdf.actor_name
+      (1 + Option.value (Hashtbl.find_opt t.firings a.Sdf.actor_name) ~default:0)
+  in
+  List.iter
+    (fun level ->
+      (* chunk so a wide level costs ~4 tasks per domain, not one per actor *)
+      let chunk = max 1 (List.length level / (4 * Pool.size pool)) in
+      List.iter commit (Pool.map ~chunk pool compute level))
+    lvls;
+  t.round <- t.round + 1;
+  List.rev !port_samples
+
 let default_stimulus name round =
   let h = float_of_int (Hashtbl.hash name mod 10) in
   sin ((float_of_int round +. h) /. 5.0)
-
-module Obs = Umlfront_obs
 
 (* Tokens crossing each channel protocol: in an SDF round every edge
    carries exactly one token, so per-round occupancy per protocol is
@@ -208,7 +285,7 @@ let channel_metrics sdf rounds =
           ~by:(edges * rounds)))
     [ "GFIFO"; "SWFIFO" ]
 
-let run ?sfunctions ?stimulus ~rounds sdf =
+let run ?sfunctions ?stimulus ?pool ~rounds sdf =
   Obs.Trace.with_span ~cat:"exec" "exec.run"
     ~args:(fun () ->
       [
@@ -218,13 +295,32 @@ let run ?sfunctions ?stimulus ~rounds sdf =
   @@ fun () ->
   let stimulus = Option.value stimulus ~default:default_stimulus in
   let session = start ?sfunctions sdf in
+  (* Level-parallel mode: only when handed a pool that really has
+     worker domains; [levels] shares [firing_order]'s Deadlock check. *)
+  let level_mode =
+    match pool with
+    | Some p when Pool.size p > 1 ->
+        let lvls = levels sdf in
+        Obs.Metrics.set_gauge "exec.levels" (float_of_int (List.length lvls));
+        Obs.Metrics.set_gauge "exec.level_width.max"
+          (float_of_int
+             (List.fold_left (fun acc l -> max acc (List.length l)) 0 lvls));
+        Some (p, lvls)
+    | Some _ | None -> None
+  in
   let traces =
     List.map (fun name -> (name, Array.make rounds 0.0)) sdf.Sdf.graph_outputs
   in
   let observing = Obs.Trace.enabled () in
   for round = 0 to rounds - 1 do
     let t0 = if observing then Obs.Trace.now_us () else 0.0 in
-    let samples = step session ~stimulus:(fun name -> stimulus name round) in
+    let round_stimulus name = stimulus name round in
+    let samples =
+      match level_mode with
+      | Some (p, lvls) ->
+          step_parallel session p lvls ~stimulus:round_stimulus ~observing
+      | None -> step session ~stimulus:round_stimulus
+    in
     if observing then Obs.Metrics.observe "exec.round_us" (Obs.Trace.now_us () -. t0);
     List.iter
       (fun (port, v) ->
@@ -240,6 +336,7 @@ let run ?sfunctions ?stimulus ~rounds sdf =
           Option.value (Hashtbl.find_opt session.firings a.Sdf.actor_name) ~default:0 ))
       sdf.Sdf.actors
   in
+  if level_mode <> None then Obs.Metrics.incr "exec.parallel_rounds" ~by:rounds;
   Obs.Metrics.incr "exec.rounds" ~by:rounds;
   Obs.Metrics.incr "exec.firings" ~by:(List.fold_left (fun acc (_, n) -> acc + n) 0 firings);
   List.iter

@@ -5,7 +5,12 @@
 
    Histograms keep exact count/sum/min/max plus a bounded sample buffer
    (ring of the most recent [max_samples]) from which p50/p95/p99 are
-   computed on snapshot. *)
+   computed on snapshot.
+
+   Every registry carries its own mutex: recordings arrive from worker
+   domains (Umlfront_parallel pools running instrumented passes), so
+   registration and mutation are serialized.  The uncontended lock cost
+   is a few nanoseconds, well under the hashtable lookup it guards. *)
 
 let max_samples = 8192
 
@@ -26,9 +31,20 @@ type metric =
 type t = {
   table : (string, metric) Hashtbl.t;
   mutable names : string list; (* registration order, newest first *)
+  lock : Mutex.t;
 }
 
-let create () = { table = Hashtbl.create 64; names = [] }
+let create () = { table = Hashtbl.create 64; names = []; lock = Mutex.create () }
+
+let locked r f =
+  Mutex.lock r.lock;
+  match f () with
+  | v ->
+      Mutex.unlock r.lock;
+      v
+  | exception e ->
+      Mutex.unlock r.lock;
+      raise e
 
 (* The process-global registry that instrumented passes record into. *)
 let global = create ()
@@ -37,6 +53,7 @@ let registry = function Some r -> r | None -> global
 
 let reset ?registry:r () =
   let r = registry r in
+  locked r @@ fun () ->
   Hashtbl.reset r.table;
   r.names <- []
 
@@ -50,12 +67,16 @@ let find_or_add r name make =
       m
 
 let incr ?registry:r ?(by = 1) name =
-  match find_or_add (registry r) name (fun () -> Counter { c = 0 }) with
+  let r = registry r in
+  locked r @@ fun () ->
+  match find_or_add r name (fun () -> Counter { c = 0 }) with
   | Counter c -> c.c <- c.c + by
   | Gauge _ | Histogram _ -> invalid_arg ("metrics: " ^ name ^ " is not a counter")
 
 let set_gauge ?registry:r name v =
-  match find_or_add (registry r) name (fun () -> Gauge { g = 0.0 }) with
+  let r = registry r in
+  locked r @@ fun () ->
+  match find_or_add r name (fun () -> Gauge { g = 0.0 }) with
   | Gauge g -> g.g <- v
   | Counter _ | Histogram _ -> invalid_arg ("metrics: " ^ name ^ " is not a gauge")
 
@@ -71,7 +92,9 @@ let observe ?registry:r name v =
         h_next = 0;
       }
   in
-  match find_or_add (registry r) name make with
+  let r = registry r in
+  locked r @@ fun () ->
+  match find_or_add r name make with
   | Histogram h ->
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
@@ -154,7 +177,7 @@ let stat_of r name =
 
 let snapshot ?registry:r () =
   let r = registry r in
-  List.filter_map (stat_of r) (List.sort String.compare r.names)
+  locked r @@ fun () -> List.filter_map (stat_of r) (List.sort String.compare r.names)
 
 let stat_json (s : stat) =
   let base = [ ("name", Json.String s.s_name); ("kind", Json.String s.s_kind) ] in

@@ -6,7 +6,13 @@
    Timestamps are microseconds relative to [enable ()], wall clock.
    Each span also records the bytes allocated on the OCaml heap while
    it was open ("alloc_bytes" arg), which is what "where does the time
-   go" usually turns into on a 10k-block model. *)
+   go" usually turns into on a 10k-block model.
+
+   The sink is shared by every domain: instrumented passes now run on
+   Umlfront_parallel worker domains, so all mutable sink state is
+   guarded by one mutex.  Each event records the domain that emitted it
+   and exports it as the Chrome-trace "tid", which gives per-domain
+   lanes in Perfetto for free. *)
 
 type event = {
   ev_name : string;
@@ -14,6 +20,7 @@ type event = {
   ev_ph : char; (* 'X' complete, 'i' instant *)
   ev_ts : float; (* microseconds since enable *)
   ev_dur : float; (* microseconds; 0 for instants *)
+  ev_tid : int; (* 1 + emitting domain id; the main domain is tid 1 *)
   ev_args : (string * Json.t) list;
 }
 
@@ -26,11 +33,26 @@ type sink = {
 
 let sink = { on = false; t0 = 0.0; events = []; stack = [] }
 
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let tid () = 1 + (Domain.self () :> int)
+
 let now_us () = (Unix.gettimeofday () -. sink.t0) *. 1e6
 
 let enabled () = sink.on
 
 let reset () =
+  locked @@ fun () ->
   sink.events <- [];
   sink.stack <- []
 
@@ -42,15 +64,17 @@ let enable () =
 
 let disable () = sink.on <- false
 
-let depth () = List.length sink.stack
+let depth () = locked (fun () -> List.length sink.stack)
 
-let events () = List.rev sink.events
+let events () = locked (fun () -> List.rev sink.events)
 
-let record ev = sink.events <- ev :: sink.events
+let record ev = locked (fun () -> sink.events <- ev :: sink.events)
 
 let instant ?(cat = "event") ?(args = []) name =
   if sink.on then
-    record { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = now_us (); ev_dur = 0.0; ev_args = args }
+    record
+      { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = now_us (); ev_dur = 0.0;
+        ev_tid = tid (); ev_args = args }
 
 (* [args] is a thunk so that argument computation (block counts, etc.)
    costs nothing when the sink is disabled. *)
@@ -59,9 +83,10 @@ let with_span ?(cat = "span") ?args name f =
   else begin
     let ts = now_us () in
     let alloc0 = Gc.allocated_bytes () in
-    sink.stack <- name :: sink.stack;
+    locked (fun () -> sink.stack <- name :: sink.stack);
     let close extra =
-      sink.stack <- (match sink.stack with _ :: rest -> rest | [] -> []);
+      locked (fun () ->
+          sink.stack <- (match sink.stack with _ :: rest -> rest | [] -> []));
       let alloc = Gc.allocated_bytes () -. alloc0 in
       let computed = match args with Some g -> g () | None -> [] in
       record
@@ -71,6 +96,7 @@ let with_span ?(cat = "span") ?args name f =
           ev_ph = 'X';
           ev_ts = ts;
           ev_dur = now_us () -. ts;
+          ev_tid = tid ();
           ev_args = (("alloc_bytes", Json.Float alloc) :: computed) @ extra;
         }
     in
@@ -92,7 +118,7 @@ let last_dur_us name =
     | ev :: rest ->
         if ev.ev_ph = 'X' && String.equal ev.ev_name name then Some ev.ev_dur else find rest
   in
-  find sink.events
+  locked (fun () -> find sink.events)
 
 let event_json ev =
   let base =
@@ -102,7 +128,7 @@ let event_json ev =
       ("ph", Json.String (String.make 1 ev.ev_ph));
       ("ts", Json.Float ev.ev_ts);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int ev.ev_tid);
     ]
   in
   let dur = if ev.ev_ph = 'X' then [ ("dur", Json.Float ev.ev_dur) ] else [] in
@@ -114,7 +140,8 @@ let event_json ev =
    humans (and the bench harness) read. *)
 let to_json ?(metrics = []) () =
   let sorted =
-    List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts) (List.rev sink.events)
+    List.sort (fun a b -> Float.compare a.ev_ts b.ev_ts)
+      (locked (fun () -> List.rev sink.events))
   in
   Json.Obj
     [

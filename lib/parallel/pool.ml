@@ -1,0 +1,182 @@
+(* Fixed-size domain pool.  One shared FIFO of closures, [size - 1]
+   spawned worker domains plus the owner domain helping during a batch;
+   a mutex + two condition variables (task available / batch done) are
+   the whole synchronization story.
+
+   Results land in a per-batch array slot owned by exactly one task, and
+   the owner only reads them after observing the batch counter hit zero
+   under the mutex — so every slot write happens-before its read and the
+   scheme is data-race free under the OCaml memory model. *)
+
+module Obs = Umlfront_obs
+
+type t = {
+  requested : int; (* total domains asked for, incl. the owner *)
+  owner : int; (* domain id of the creating domain *)
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  task_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+let domain_id () = (Domain.self () :> int)
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.task_ready t.lock
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* stop requested and the queue is drained *)
+      Mutex.unlock t.lock
+  | Some task ->
+      Mutex.unlock t.lock;
+      task ();
+      worker_loop t
+
+let create ?domains () =
+  let requested = match domains with Some n -> n | None -> cpu_count () in
+  let t =
+    {
+      requested;
+      owner = domain_id ();
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      task_ready = Condition.create ();
+      batch_done = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if requested > 1 then
+    t.workers <- List.init (requested - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Obs.Metrics.set_gauge "pool.domains" (float_of_int (max 1 requested));
+  t
+
+let size t = if t.workers = [] then 1 else t.requested
+
+let shutdown t =
+  let workers = t.workers in
+  if workers <> [] then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    t.workers <- [];
+    Condition.broadcast t.task_ready;
+    Mutex.unlock t.lock;
+    List.iter Domain.join workers
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* The parallel core: run [n] indexed tasks across the pool, the owner
+   helping, and return after all have finished.  [run_task i] must
+   confine its effects to state owned by index [i]. *)
+let run_batch t n run_task =
+  let remaining = ref n in (* guarded by t.lock *)
+  let task i () =
+    run_task i;
+    Obs.Metrics.incr "pool.tasks";
+    Obs.Metrics.incr (Printf.sprintf "pool.tasks.d%d" (domain_id ()));
+    Mutex.lock t.lock;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast t.batch_done;
+    Mutex.unlock t.lock
+  in
+  Mutex.lock t.lock;
+  for i = 0 to n - 1 do
+    Queue.add (task i) t.queue
+  done;
+  Condition.broadcast t.task_ready;
+  Mutex.unlock t.lock;
+  (* Owner helps drain the queue, then waits out in-flight tasks. *)
+  let rec help () =
+    Mutex.lock t.lock;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.lock;
+        task ();
+        help ()
+    | None ->
+        while !remaining > 0 do
+          Condition.wait t.batch_done t.lock
+        done;
+        Mutex.unlock t.lock
+  in
+  help ()
+
+(* A batch is sequential when the pool has no workers (size <= 1 or
+   already shut down) or when called from inside one of this pool's own
+   tasks (owner check) — reentrant use would deadlock on the queue. *)
+let sequential t = t.workers = [] || domain_id () <> t.owner
+
+let chunk_bounds ~chunk n =
+  let chunk = max 1 chunk in
+  let chunks = (n + chunk - 1) / chunk in
+  (chunk, chunks)
+
+let map_array ?(chunk = 1) t f arr =
+  let n = Array.length arr in
+  if sequential t || n <= 1 then Array.map f arr
+  else begin
+    Obs.Metrics.incr "pool.maps";
+    let results = Array.make n None in
+    let chunk, chunks = chunk_bounds ~chunk n in
+    run_batch t chunks (fun c ->
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        for i = lo to hi - 1 do
+          results.(i) <-
+            Some
+              (match f arr.(i) with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        done);
+    (* Re-raise the earliest failure, as sequential Array.map would. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+      results
+  end
+
+let map ?chunk t f xs = Array.to_list (map_array ?chunk t f (Array.of_list xs))
+
+let parallel_for ?(chunk = 1) t n f =
+  if n <= 0 then ()
+  else if sequential t || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    Obs.Metrics.incr "pool.maps";
+    let chunk, chunks = chunk_bounds ~chunk n in
+    let failure = Atomic.make None in
+    run_batch t chunks (fun c ->
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        for i = lo to hi - 1 do
+          match f i with
+          | () -> ()
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              (* keep the earliest-index failure *)
+              let rec put () =
+                let cur = Atomic.get failure in
+                let keep = match cur with Some (j, _, _) -> j < i | None -> false in
+                if not keep then
+                  if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then put ()
+              in
+              put ()
+        done);
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
