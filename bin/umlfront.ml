@@ -13,6 +13,7 @@
      umlfront example crane -o model.xml     dump a bundled case study as XMI
      umlfront report model.xml               full flow summary
      umlfront stats model.xml                run the flow instrumented, print metrics
+     umlfront lint model.xml [more.xml...]   static analysis: UML, CAAM and SDF rules
 
    Any subcommand accepts a global `--profile FILE.json`: the run is
    traced (spans per flow phase, parser/executor metrics) and a Chrome
@@ -491,6 +492,87 @@ let stats_cmd =
              protect (fun () -> action path strategy cpus rounds jobs))
         $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg))
 
+let lint_cmd =
+  let module A = Umlfront_analysis in
+  let action paths strategy cpus jobs format deny_warnings show_rules =
+    if show_rules then
+      List.iter
+        (fun (code, severity, title) ->
+          Printf.printf "%s  %-7s  %s\n" code
+            (A.Diagnostic.severity_to_string severity)
+            title)
+        A.Lint.rules
+    else if paths = [] then failwith "lint: no MODEL.xml given (or pass --rules)"
+    else begin
+      let lint_one path =
+        let uml = load path in
+        let output = Core.Flow.run ~strategy:(effective_strategy strategy cpus) uml in
+        (path, A.Lint.check ~uml output.Core.Flow.caam)
+      in
+      let results =
+        with_jobs jobs (fun pool ->
+            match pool with
+            | Some pool -> Pool.map pool lint_one paths
+            | None -> List.map lint_one paths)
+      in
+      (match format with
+      | `Text ->
+          List.iter
+            (fun (path, diagnostics) ->
+              if diagnostics = [] then Printf.printf "%s: clean\n" path
+              else (
+                Printf.printf "%s:\n" path;
+                print_string (A.Diagnostic.render diagnostics)))
+            results
+      | `Json ->
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.List
+                  (List.map
+                     (fun (path, ds) -> A.Diagnostic.list_to_json ~file:path ds)
+                     results))));
+      let policy = if deny_warnings then `Warnings else `Errors in
+      if List.exists (fun (_, ds) -> A.Lint.deny policy ds <> []) results then exit 1
+    end
+  in
+  let models_arg =
+    let doc = "UML models in umlfront XMI format (one or more)." in
+    Arg.(value & pos_all file [] & info [] ~docv:"MODEL.xml" ~doc)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: text or json.")
+  in
+  let deny_arg =
+    (* `--deny warnings`: warnings fail the run like errors do. *)
+    let level =
+      Arg.(
+        value
+        & opt (some (enum [ ("warnings", `Warnings) ])) None
+        & info [ "deny" ] ~docv:"LEVEL"
+            ~doc:"Fail the run on diagnostics of $(docv) too (only $(b,warnings)).")
+    in
+    Term.(const (fun l -> l <> None) $ level)
+  in
+  let rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"Print the rule catalog (code, severity, title) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static model analysis (UML conventions, CAAM structure, SDF \
+          consistency) and exit non-zero on errors")
+    Term.(
+      term_result'
+        (const (fun paths strategy cpus jobs format deny rules ->
+             protect (fun () -> action paths strategy cpus jobs format deny rules))
+        $ models_arg $ strategy_arg $ cpus_arg $ jobs_arg $ format_arg $ deny_arg
+        $ rules_arg))
+
 let () =
   (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)
   let verbosity =
@@ -512,7 +594,11 @@ let () =
     let rec strip acc profile = function
       | [] -> (List.rev acc, profile)
       | [ "--profile" ] ->
+          (* Match Cmdliner's own error shape (message + help pointer,
+             exit 124) so global and per-command flag errors read the
+             same. *)
           prerr_endline "umlfront: option '--profile' needs an argument";
+          prerr_endline "Try 'umlfront --help' for more information.";
           exit 124
       | "--profile" :: file :: rest -> strip acc (Some file) rest
       | arg :: rest when String.starts_with ~prefix arg ->
@@ -544,5 +630,5 @@ let () =
           [
             map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
             partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
-            plantuml_cmd; report_cmd; stats_cmd;
+            plantuml_cmd; report_cmd; stats_cmd; lint_cmd;
           ]))

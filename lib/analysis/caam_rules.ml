@@ -1,0 +1,163 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Caam = Umlfront_simulink.Caam
+module Model = Umlfront_simulink.Model
+module D = Diagnostic
+
+let site path name = ("top" :: path) @ [ name ]
+
+(* UF103: duplicate block names make every by-name lookup (lines,
+   traces, channel inference) ambiguous. *)
+let check_duplicates path sys acc =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (b : S.block) ->
+      if Hashtbl.mem seen b.blk_name then
+        if Hashtbl.find seen b.blk_name then (
+          Hashtbl.replace seen b.blk_name false;
+          D.error ~code:"UF103" ~path:(site path b.blk_name)
+            (Printf.sprintf "block name %s is used more than once in this system"
+               b.blk_name)
+            ~hint:"rename one of the blocks"
+          :: acc)
+        else acc
+      else (
+        Hashtbl.add seen b.blk_name true;
+        acc))
+    acc (S.blocks sys)
+
+(* UF101/UF102: every input port driven, every output port consumed.
+   Top-level Outports are the model's external outputs and top-level
+   Inports its stimuli, so their outer side is exempt by type (they
+   have no outer ports); everything else dangling is a wiring bug in
+   the generator or the hand edit. *)
+let check_ports path sys acc =
+  List.fold_left
+    (fun acc (b : S.block) ->
+      let inputs, outputs = S.port_counts b in
+      let driven = List.map fst (S.drivers sys b.blk_name) in
+      let acc = ref acc in
+      for p = 1 to inputs do
+        if not (List.mem p driven) then
+          acc :=
+            D.error ~code:"UF101" ~path:(site path b.blk_name)
+              (Printf.sprintf "input port %d of %s block %s is not driven" p
+                 (B.to_string b.blk_type) b.blk_name)
+              ~hint:"connect a line to the port (or drive it from a Ground block)"
+            :: !acc
+      done;
+      for p = 1 to outputs do
+        if S.consumers sys b.blk_name p = [] then
+          acc :=
+            D.warning ~code:"UF102" ~path:(site path b.blk_name)
+              (Printf.sprintf "output port %d of %s block %s is not consumed" p
+                 (B.to_string b.blk_type) b.blk_name)
+              ~hint:"connect the port (or terminate it with a Terminator block)"
+            :: !acc
+      done;
+      !acc)
+    acc (S.blocks sys)
+
+(* UF106: channels are point-to-point by construction (§4.2.1). *)
+let check_channel_wiring path sys acc =
+  List.fold_left
+    (fun acc (b : S.block) ->
+      if b.blk_type <> B.Channel then acc
+      else
+        let producers = List.length (S.drivers sys b.blk_name) in
+        let consumers = List.length (S.consumers sys b.blk_name 1) in
+        let acc =
+          if producers = 1 then acc
+          else
+            D.error ~code:"UF106" ~path:(site path b.blk_name)
+              (Printf.sprintf "channel %s has %d producers, expected exactly 1"
+                 b.blk_name producers)
+              ~hint:"a channel carries one data link; split or remove it"
+            :: acc
+        in
+        if consumers = 1 then acc
+        else
+          D.error ~code:"UF106" ~path:(site path b.blk_name)
+            (Printf.sprintf "channel %s has %d consumers, expected exactly 1" b.blk_name
+               consumers)
+            ~hint:"a channel carries one data link; split or remove it"
+          :: acc)
+    acc (S.blocks sys)
+
+(* UF104: protocol must match the channel's position in the hierarchy. *)
+let check_protocols (m : Model.t) acc =
+  List.fold_left
+    (fun acc (path, (b : S.block)) ->
+      let expected =
+        match Caam.classify_channel ~path with
+        | Caam.Inter_cpu -> "GFIFO"
+        | Caam.Intra_cpu -> "SWFIFO"
+      in
+      match Caam.protocol b with
+      | Some p when String.equal p expected -> acc
+      | Some p ->
+          D.error ~code:"UF104" ~path:(site path b.blk_name)
+            (Printf.sprintf "%s channel %s carries protocol %s, expected %s"
+               (match Caam.classify_channel ~path with
+               | Caam.Inter_cpu -> "inter-CPU"
+               | Caam.Intra_cpu -> "intra-CPU")
+               b.blk_name p expected)
+            ~hint:(Printf.sprintf "set the Protocol parameter to %s" expected)
+          :: acc
+      | None ->
+          D.error ~code:"UF104" ~path:(site path b.blk_name)
+            (Printf.sprintf "channel %s carries no Protocol parameter" b.blk_name)
+            ~hint:(Printf.sprintf "set the Protocol parameter to %s" expected)
+          :: acc)
+    acc (Caam.channels m)
+
+(* UF105: the two-level CPU-SS / Thread-SS discipline of the CAAM. *)
+let check_roles (m : Model.t) acc =
+  let acc =
+    List.fold_left
+      (fun acc (b : S.block) ->
+        match (b.blk_type, Caam.role_of_block b) with
+        | B.Subsystem, Some Caam.Cpu -> acc
+        | B.Subsystem, _ ->
+            D.error ~code:"UF105" ~path:(site [] b.blk_name)
+              (Printf.sprintf "top-level subsystem %s lacks the cpu CAAM role"
+                 b.blk_name)
+              ~hint:"set the CAAMRole parameter to cpu"
+            :: acc
+        | _ -> acc)
+      acc
+      (S.blocks m.Model.root)
+  in
+  List.fold_left
+    (fun acc (cpu : S.block) ->
+      match cpu.blk_system with
+      | None ->
+          D.error ~code:"UF105" ~path:(site [] cpu.blk_name)
+            (Printf.sprintf "CPU-SS %s has no nested system" cpu.blk_name)
+          :: acc
+      | Some sys ->
+          List.fold_left
+            (fun acc (b : S.block) ->
+              match (b.blk_type, Caam.role_of_block b) with
+              | B.Subsystem, Some Caam.Thread -> acc
+              | B.Subsystem, _ ->
+                  D.error ~code:"UF105"
+                    ~path:(site [ cpu.blk_name ] b.blk_name)
+                    (Printf.sprintf
+                       "subsystem %s inside CPU-SS %s lacks the thread CAAM role"
+                       b.blk_name cpu.blk_name)
+                    ~hint:"set the CAAMRole parameter to thread"
+                  :: acc
+              | _ -> acc)
+            acc (S.blocks sys))
+    acc (Caam.cpus m)
+
+let check (m : Model.t) =
+  let acc = ref [] in
+  S.iter_systems
+    (fun path sys ->
+      acc := check_duplicates path sys !acc;
+      acc := check_ports path sys !acc;
+      acc := check_channel_wiring path sys !acc)
+    m.Model.root;
+  check_roles m (check_protocols m !acc)

@@ -1,0 +1,17 @@
+(** CAAM-level lint rules (codes UF101-UF106) over the generated (or
+    hand-edited / re-captured) Simulink model:
+
+    - [UF101] (error): a block input port with no driving line;
+    - [UF102] (warning): a block output port no line consumes;
+    - [UF103] (error): duplicate block names within one system;
+    - [UF104] (error): a channel whose [Protocol] contradicts its
+      position — inter-CPU channels (top level) must carry [GFIFO],
+      intra-CPU channels [SWFIFO] (paper §4.2.1) — or carries none;
+    - [UF105] (error): CAAM role structure — a top-level subsystem
+      that is not a CPU-SS, or a CPU-SS child subsystem that is not a
+      Thread-SS;
+    - [UF106] (error): a channel wired to more than (or fewer than)
+      one producer or consumer. *)
+
+val check : Umlfront_simulink.Model.t -> Diagnostic.t list
+(** Unsorted; {!Lint} sorts and counts. *)

@@ -1,0 +1,82 @@
+module Json = Umlfront_obs.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  path : string list;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint severity ~code ~path message = { severity; code; path; message; hint }
+let error ?hint = make ?hint Error
+let warning ?hint = make ?hint Warning
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Errors sort before warnings of the same rule only through the code;
+   within a code the path keeps mutants of the same system together. *)
+let compare a b =
+  match String.compare a.code b.code with
+  | 0 -> (
+      match List.compare String.compare a.path b.path with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+  | c -> c
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+let path_to_string d = String.concat "/" d.path
+
+let to_line d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.code
+    (path_to_string d) d.message
+
+let count_label n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let summary ds =
+  if ds = [] then "clean"
+  else
+    Printf.sprintf "%s, %s"
+      (count_label (List.length (errors ds)) "error")
+      (count_label (List.length (warnings ds)) "warning")
+
+let render ds =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (to_line d);
+      Buffer.add_char buf '\n';
+      Option.iter
+        (fun h -> Buffer.add_string buf (Printf.sprintf "  hint: %s\n" h))
+        d.hint)
+    ds;
+  Buffer.add_string buf (summary ds);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_json d =
+  Json.Obj
+    ([
+       ("severity", Json.String (severity_to_string d.severity));
+       ("code", Json.String d.code);
+       ("path", Json.String (path_to_string d));
+       ("message", Json.String d.message);
+     ]
+    @ match d.hint with None -> [] | Some h -> [ ("hint", Json.String h) ])
+
+let list_to_json ?file ds =
+  Json.Obj
+    ((match file with None -> [] | Some f -> [ ("file", Json.String f) ])
+    @ [
+        ("errors", Json.Int (List.length (errors ds)));
+        ("warnings", Json.Int (List.length (warnings ds)));
+        ("diagnostics", Json.List (List.map to_json ds));
+      ])
+
+let pp ppf d = Format.pp_print_string ppf (to_line d)

@@ -1,0 +1,53 @@
+(** Unified diagnostics for the static model-analysis passes.
+
+    Every finding carries a stable rule code (["UF104"]), a severity, a
+    slash-joinable location path and a human message, optionally with a
+    fix hint.  Codes are part of the tool's contract: scripts grep for
+    them and the metrics registry counts per-code occurrences, so codes
+    are never renumbered (see [doc/analysis.md] for the catalog). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable rule code, e.g. ["UF104"] *)
+  path : string list;  (** location, outermost element first *)
+  message : string;
+  hint : string option;  (** how to fix it, when the rule knows *)
+}
+
+val make : ?hint:string -> severity -> code:string -> path:string list -> string -> t
+val error : ?hint:string -> code:string -> path:string list -> string -> t
+val warning : ?hint:string -> code:string -> path:string list -> string -> t
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val compare : t -> t -> int
+(** Order by code, then path, then message — the stable report order. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val path_to_string : t -> string
+(** The location path, slash-joined (["top/CPU1/ch_T1_T2"]). *)
+
+val to_line : t -> string
+(** One line, no trailing newline:
+    ["error[UF104] top/ch_A_B: inter-CPU channel carries SWFIFO"]. *)
+
+val summary : t list -> string
+(** ["clean"], or ["2 errors, 1 warning"]. *)
+
+val render : t list -> string
+(** Text report: one {!to_line} per diagnostic (hint, when present, on
+    an indented continuation line), then a {!summary} line.  Ends with
+    a newline.  The empty list renders as ["clean\n"]. *)
+
+val to_json : t -> Umlfront_obs.Json.t
+
+val list_to_json : ?file:string -> t list -> Umlfront_obs.Json.t
+(** [{"file": ..., "errors": n, "warnings": n, "diagnostics": [...]}];
+    the [file] field is present only when given. *)
+
+val pp : Format.formatter -> t -> unit

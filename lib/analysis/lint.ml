@@ -1,0 +1,76 @@
+module D = Diagnostic
+module Sdf = Umlfront_dataflow.Sdf
+module S = Umlfront_simulink.System
+module Caam = Umlfront_simulink.Caam
+module Metrics = Umlfront_obs.Metrics
+
+let rules =
+  [
+    ("UF001", D.Error, "sequence call to an undeclared object or operation");
+    ("UF002", D.Warning, "Set* delivers a token the receiving thread never consumes");
+    ("UF003", D.Warning, "Get* expects a token the source thread never produces");
+    ("UF004", D.Error, "<<IO>> call outside the get*/set* port convention");
+    ("UF005", D.Error, "thread deployed to no (or no <<SAengine>>) processor");
+    ("UF101", D.Error, "block input port with no driving line");
+    ("UF102", D.Warning, "block output port no line consumes");
+    ("UF103", D.Error, "duplicate block names within one system");
+    ("UF104", D.Error, "channel protocol contradicts its position (SWFIFO/GFIFO)");
+    ("UF105", D.Error, "CAAM role structure broken (CPU-SS / Thread-SS)");
+    ("UF106", D.Error, "channel not wired point-to-point");
+    ("UF190", D.Error, "model cannot be flattened to a dataflow graph");
+    ("UF201", D.Error, "SDF balance equations inconsistent (no repetition vector)");
+    ("UF202", D.Error, "zero-delay cycle not broken by a UnitDelay");
+    ("UF203", D.Warning, "channel Capacity below the buffer-bound estimate");
+  ]
+
+(* Count into the process-global registry and fix the report order. *)
+let counted ds =
+  let ds = List.sort D.compare ds in
+  Metrics.incr "lint.runs";
+  Metrics.incr "lint.diagnostics" ~by:(List.length ds);
+  List.iter (fun (d : D.t) -> Metrics.incr ("lint." ^ d.D.code)) ds;
+  ds
+
+let check_uml uml = counted (Uml_rules.check uml)
+
+(* UF203: a channel that declares a Capacity below the schedule's
+   buffer-bound estimate will overflow (or block) at run time.
+   Channels without the parameter are unbounded as far as the model is
+   concerned, so they are exempt. *)
+let capacity_rule (m : Umlfront_simulink.Model.t) (sdf : Sdf.t) =
+  let bounds = Sdf_rules.buffer_bounds sdf in
+  List.filter_map
+    (fun (path, (b : S.block)) ->
+      match S.param_int b "Capacity" with
+      | None -> None
+      | Some capacity -> (
+          match List.assoc_opt b.S.blk_name bounds with
+          | Some bound when bound > capacity ->
+              Some
+                (D.warning ~code:"UF203"
+                   ~path:(("top" :: path) @ [ b.S.blk_name ])
+                   (Printf.sprintf
+                      "channel %s declares Capacity %d but the schedule needs %d \
+                       slot%s"
+                      b.S.blk_name capacity bound (if bound = 1 then "" else "s"))
+                   ~hint:(Printf.sprintf "raise Capacity to at least %d" bound))
+          | Some _ | None -> None))
+    (Caam.channels m)
+
+let caam_and_sdf (m : Umlfront_simulink.Model.t) =
+  let structural = Caam_rules.check m in
+  match Sdf.of_model m with
+  | exception Invalid_argument reason ->
+      D.error ~code:"UF190" ~path:[ "top" ]
+        (Printf.sprintf "model cannot be flattened to a dataflow graph: %s" reason)
+        ~hint:"fix the structural diagnostics first"
+      :: structural
+  | sdf -> structural @ Sdf_rules.check sdf @ capacity_rule m sdf
+
+let check_caam m = counted (caam_and_sdf m)
+let check ~uml caam = counted (Uml_rules.check uml @ caam_and_sdf caam)
+
+let deny policy ds =
+  match policy with
+  | `Errors -> D.errors ds
+  | `Warnings -> List.filter (fun (d : D.t) -> d.D.severity <> D.Info) ds

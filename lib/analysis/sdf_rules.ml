@@ -1,0 +1,138 @@
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+module B = Umlfront_simulink.Block
+module D = Diagnostic
+
+type rates = Sdf.edge -> int * int
+
+let single_rate : rates = fun _ -> (1, 1)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Solve q_src * produced = q_dst * consumed over each weakly-connected
+   component by propagating exact rationals from an arbitrary root.  A
+   propagated value that disagrees with an already-assigned one is an
+   inconsistent balance equation: the graph has no repetition vector
+   and cannot execute periodically in bounded memory. *)
+let repetition_vector ?(rates = single_rate) (g : Sdf.t) =
+  let q : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let adjacency = Hashtbl.create 64 in
+  let add_adj a e = Hashtbl.replace adjacency a (e :: (Option.value ~default:[] (Hashtbl.find_opt adjacency a))) in
+  List.iter
+    (fun (e : Sdf.edge) ->
+      add_adj e.edge_src e;
+      add_adj e.edge_dst e)
+    g.Sdf.edges;
+  let conflicts = ref [] in
+  let norm (n, d) =
+    let f = gcd n d in
+    if f = 0 then (0, 1) else (n / f, d / f)
+  in
+  let visit_component root =
+    Hashtbl.replace q root (1, 1);
+    let queue = Queue.create () in
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let a = Queue.pop queue in
+      let na, da = Hashtbl.find q a in
+      List.iter
+        (fun (e : Sdf.edge) ->
+          let produced, consumed = rates e in
+          (* Solve for the far endpoint's rate as seen from [a]. *)
+          let other, expected =
+            if String.equal e.edge_src a then
+              (e.edge_dst, norm (na * produced, da * consumed))
+            else (e.edge_src, norm (na * consumed, da * produced))
+          in
+          match Hashtbl.find_opt q other with
+          | None ->
+              Hashtbl.replace q other expected;
+              Queue.add other queue
+          | Some assigned ->
+              if assigned <> expected then
+                conflicts :=
+                  D.error ~code:"UF201"
+                    ~path:[ "sdf"; Printf.sprintf "%s->%s" e.edge_src e.edge_dst ]
+                    (Printf.sprintf
+                       "balance equations are inconsistent at edge %s -> %s (rates \
+                        %d/%d): no repetition vector exists"
+                       e.edge_src e.edge_dst produced consumed)
+                    ~hint:"fix the production/consumption rates so every undirected \
+                           cycle balances"
+                  :: !conflicts)
+        (Option.value ~default:[] (Hashtbl.find_opt adjacency a))
+    done
+  in
+  List.iter
+    (fun (a : Sdf.actor) ->
+      if not (Hashtbl.mem q a.actor_name) then visit_component a.actor_name)
+    g.Sdf.actors;
+  (* The BFS examines every edge from both endpoints, so a conflict is
+     detected twice; report it once. *)
+  match List.sort_uniq Stdlib.compare !conflicts with
+  | _ :: _ as cs -> Error cs
+  | [] ->
+      (* Scale the rationals to the smallest integer vector. *)
+      let denominators =
+        List.map (fun (a : Sdf.actor) -> snd (Hashtbl.find q a.actor_name)) g.Sdf.actors
+      in
+      let lcm x y = if x = 0 || y = 0 then 0 else x * y / gcd x y in
+      let scale = List.fold_left lcm 1 denominators in
+      let counts =
+        List.map
+          (fun (a : Sdf.actor) ->
+            let n, d = Hashtbl.find q a.actor_name in
+            (a.actor_name, n * (scale / d)))
+          g.Sdf.actors
+      in
+      let shrink =
+        List.fold_left (fun acc (_, n) -> gcd acc n) 0 counts
+      in
+      Ok
+        (if shrink > 1 then List.map (fun (a, n) -> (a, n / shrink)) counts
+         else counts)
+
+let deadlock (g : Sdf.t) =
+  match Exec.firing_order g with
+  | (_ : string list) -> []
+  | exception Exec.Deadlock cycle ->
+      [
+        D.error ~code:"UF202"
+          ~path:[ "sdf"; String.concat "->" cycle ]
+          (Printf.sprintf "zero-delay dependency cycle: %s" (String.concat " -> " cycle))
+          ~hint:"insert a UnitDelay temporal barrier (§4.2.2) on one link of the cycle";
+      ]
+
+(* A channel needs one slot for the in-round hand-off; when the
+   producer fires at or after the consumer's dependency level (a
+   feedback link closed by a UnitDelay) the token rests across the
+   round boundary while the next one is produced, so budget two. *)
+let buffer_bounds (g : Sdf.t) =
+  match Exec.levels g with
+  | exception Exec.Deadlock _ -> []
+  | levels ->
+      let level_of = Hashtbl.create 64 in
+      List.iteri
+        (fun i names -> List.iter (fun n -> Hashtbl.replace level_of n i) names)
+        levels;
+      let is_delay name =
+        match Sdf.find_actor g name with
+        | Some a -> a.Sdf.actor_block.Umlfront_simulink.System.blk_type = B.Unit_delay
+        | None -> false
+      in
+      List.concat_map
+        (fun (e : Sdf.edge) ->
+          let bound =
+            let back =
+              match (Hashtbl.find_opt level_of e.edge_src, Hashtbl.find_opt level_of e.edge_dst) with
+              | Some ls, Some ld -> ls >= ld
+              | _ -> false
+            in
+            if back || is_delay e.edge_src then 2 else 1
+          in
+          List.map (fun (channel, _protocol) -> (channel, bound)) e.edge_channels)
+        g.Sdf.edges
+
+let check ?rates (g : Sdf.t) =
+  let rank = match repetition_vector ?rates g with Ok _ -> [] | Error ds -> ds in
+  rank @ deadlock g

@@ -1,0 +1,39 @@
+(** SDF-level lint rules (codes UF201-UF203) over the flattened
+    dataflow graph:
+
+    - [UF201] (error): the balance equations are inconsistent — no
+      repetition vector exists (the rank test of Lee & Messerschmitt).
+      The flattened graphs this tool generates are single-rate, so the
+      rule only fires through a caller-supplied [rates] function (e.g.
+      when modelling multirate actors on top of the graph);
+    - [UF202] (error): a zero-delay dependency cycle — the model
+      deadlocks unless a [UnitDelay] temporal barrier (§4.2.2) breaks
+      the cycle;
+    - [UF203] (warning, applied by {!Lint}): a channel whose declared
+      [Capacity] parameter is below the {!buffer_bounds} estimate. *)
+
+type rates = Umlfront_dataflow.Sdf.edge -> int * int
+(** (tokens produced per source firing, tokens consumed per destination
+    firing).  The default is [fun _ -> (1, 1)] — homogeneous SDF. *)
+
+val repetition_vector :
+  ?rates:rates ->
+  Umlfront_dataflow.Sdf.t ->
+  ((string * int) list, Diagnostic.t list) result
+(** Solve the balance equations per weakly-connected component.  [Ok]
+    carries the smallest integer repetition vector (actor name to
+    firing count, in actor order); [Error] carries one [UF201]
+    diagnostic per inconsistent edge. *)
+
+val deadlock : Umlfront_dataflow.Sdf.t -> Diagnostic.t list
+(** [UF202] for the zero-delay cycle, when one exists. *)
+
+val buffer_bounds : Umlfront_dataflow.Sdf.t -> (string * int) list
+(** Per-channel buffer-bound estimate (channel block name to slots),
+    in edge order: 1 slot for a forward link, 2 when the token rests
+    across a round boundary (the producer fires at or after the
+    consumer's level, or is a [UnitDelay]).  Empty when the graph
+    deadlocks — fix [UF202] first. *)
+
+val check : ?rates:rates -> Umlfront_dataflow.Sdf.t -> Diagnostic.t list
+(** [UF201] and [UF202].  Unsorted; {!Lint} sorts and counts. *)

@@ -1,0 +1,189 @@
+module U = Umlfront_uml
+module D = Diagnostic
+
+let message_site (sd : string) (m : U.Sequence.message) =
+  [ sd; Printf.sprintf "%s->%s.%s" m.U.Sequence.msg_from m.U.Sequence.msg_to m.U.Sequence.msg_operation ]
+
+(* UF001: calls must resolve to declared objects and operations.  The
+   Platform pseudo-object stands for the whole block library, so any
+   operation name on it is fair game. *)
+let check_resolution model (sd : string) (m : U.Sequence.message) acc =
+  let site = message_site sd m in
+  let acc =
+    if U.Model.find_instance model m.U.Sequence.msg_from = None then
+      D.error ~code:"UF001" ~path:site
+        (Printf.sprintf "caller object %s is not declared in the model" m.U.Sequence.msg_from)
+        ~hint:"declare the object instance (or fix the lifeline name)"
+      :: acc
+    else acc
+  in
+  match U.Model.kind_of_instance model m.U.Sequence.msg_to with
+  | None ->
+      D.error ~code:"UF001" ~path:site
+        (Printf.sprintf "callee object %s is not declared in the model" m.U.Sequence.msg_to)
+        ~hint:"declare the object instance (or fix the lifeline name)"
+      :: acc
+  | Some U.Classifier.Platform -> acc
+  | Some _ -> (
+      match U.Model.operation_of_message model m with
+      | Some _ -> acc
+      | None ->
+          D.error ~code:"UF001" ~path:site
+            (Printf.sprintf "operation %s is not declared on the class of %s"
+               m.U.Sequence.msg_operation m.U.Sequence.msg_to)
+            ~hint:"declare the operation on the callee's class"
+          :: acc)
+
+(* UF004: the <<IO>> prefix convention — get*/set* is what the mapping
+   turns into system-level ports; anything else is silently dropped. *)
+let check_io model (sd : string) (m : U.Sequence.message) acc =
+  if U.Model.kind_of_instance model m.U.Sequence.msg_to <> Some U.Classifier.Io_device then
+    acc
+  else
+    let site = message_site sd m in
+    if not (U.Sequence.is_io_read m || U.Sequence.is_io_write m) then
+      D.error ~code:"UF004" ~path:site
+        (Printf.sprintf "call to <<IO>> object %s must use the get*/set* prefix convention"
+           m.U.Sequence.msg_to)
+        ~hint:"rename the operation to get<Port> (read) or set<Port> (write)"
+      :: acc
+    else if U.Sequence.is_io_read m && m.U.Sequence.msg_result = None then
+      D.warning ~code:"UF004" ~path:site
+        "IO read binds no result token, so no system input port is generated"
+        ~hint:"bind the return value to a data token"
+      :: acc
+    else acc
+
+(* UF002/UF003: Set/Get pairing between threads.  A Set's payload must
+   be consumed by the receiving thread; a Get's result must be produced
+   by the thread it is addressed to (locally, or relayed to it by a
+   Set) — otherwise the generated channel port dangles. *)
+let check_set_get model behaviours acc =
+  let is_thread o = U.Model.kind_of_instance model o = Some U.Classifier.Thread in
+  let all =
+    List.concat_map
+      (fun (sd : U.Sequence.t) ->
+        List.map (fun m -> (sd.U.Sequence.sd_name, m)) sd.U.Sequence.sd_messages)
+      behaviours
+  in
+  let consumes thread token =
+    List.exists
+      (fun (_, (m : U.Sequence.message)) ->
+        String.equal m.msg_from thread
+        && List.exists (fun (a : U.Sequence.arg) -> String.equal a.arg_name token) m.msg_args)
+      all
+  in
+  let produces thread token =
+    List.exists
+      (fun (_, (m : U.Sequence.message)) ->
+        let binds =
+          List.exists
+            (fun (a : U.Sequence.arg) -> String.equal a.arg_name token)
+            (Option.to_list m.msg_result @ m.msg_outs)
+        in
+        (String.equal m.msg_from thread && binds)
+        || (String.equal m.msg_to thread && U.Sequence.is_send m
+           && List.exists (fun (a : U.Sequence.arg) -> String.equal a.arg_name token) m.msg_args))
+      all
+  in
+  List.fold_left
+    (fun acc (sd, (m : U.Sequence.message)) ->
+      if not (is_thread m.msg_from && is_thread m.msg_to) then acc
+      else if U.Sequence.is_send m then
+        List.fold_left
+          (fun acc (a : U.Sequence.arg) ->
+            if consumes m.msg_to a.arg_name then acc
+            else
+              D.warning ~code:"UF002" ~path:(message_site sd m)
+                (Printf.sprintf "%s delivers token %s to %s, which never consumes it"
+                   m.msg_operation a.arg_name m.msg_to)
+                ~hint:"remove the Set, or use the token in the receiving thread"
+              :: acc)
+          acc m.msg_args
+      else if U.Sequence.is_receive m then
+        match m.msg_result with
+        | None ->
+            D.warning ~code:"UF003" ~path:(message_site sd m)
+              (Printf.sprintf "%s binds no result token, so no channel is generated"
+                 m.msg_operation)
+              ~hint:"bind the Get's return value to a data token"
+            :: acc
+        | Some (a : U.Sequence.arg) ->
+            if produces m.msg_to a.arg_name then acc
+            else
+              D.warning ~code:"UF003" ~path:(message_site sd m)
+                (Printf.sprintf "%s expects token %s from %s, which never produces it"
+                   m.msg_operation a.arg_name m.msg_to)
+                ~hint:"produce the token in the source thread (result, out or Set delivery)"
+              :: acc
+      else acc)
+    acc all
+
+(* UF005: deployment discipline — every thread on exactly one
+   <<SAengine>> node.  Silent when the model carries no deployment
+   diagram (the flow then infers an allocation instead). *)
+let check_deployment model acc =
+  match U.Model.deployment model with
+  | None -> acc
+  | Some dep ->
+      let site thread = [ dep.U.Deployment.dep_name; thread ] in
+      let node_of name =
+        List.find_opt
+          (fun (n : U.Deployment.node) -> String.equal n.node_name name)
+          dep.U.Deployment.dep_nodes
+      in
+      List.fold_left
+        (fun acc thread ->
+          match
+            List.filter
+              (fun (t, _) -> String.equal t thread)
+              dep.U.Deployment.dep_allocation
+          with
+          | [] ->
+              D.error ~code:"UF005" ~path:(site thread)
+                (Printf.sprintf "thread %s is not deployed to any <<SAengine>> processor"
+                   thread)
+                ~hint:"add an allocation entry to the deployment diagram"
+              :: acc
+          | [ (_, node) ] -> (
+              match node_of node with
+              | None ->
+                  D.error ~code:"UF005" ~path:(site thread)
+                    (Printf.sprintf "thread %s is deployed to undeclared node %s" thread
+                       node)
+                    ~hint:"declare the node in the deployment diagram"
+                  :: acc
+              | Some n ->
+                  if
+                    List.exists
+                      (U.Stereotype.equal U.Stereotype.Sa_engine)
+                      n.U.Deployment.node_stereotypes
+                  then acc
+                  else
+                    D.error ~code:"UF005" ~path:(site thread)
+                      (Printf.sprintf "thread %s is deployed to %s, which is not an \
+                                       <<SAengine>> processor"
+                         thread node)
+                      ~hint:"stereotype the node <<SAengine>>"
+                    :: acc)
+          | _ :: _ :: _ ->
+              D.error ~code:"UF005" ~path:(site thread)
+                (Printf.sprintf "thread %s is deployed more than once" thread)
+                ~hint:"keep a single allocation entry per thread"
+              :: acc)
+        acc (U.Model.threads model)
+
+let check model =
+  let behaviours = U.Model.behaviours model in
+  let acc =
+    List.fold_left
+      (fun acc (sd : U.Sequence.t) ->
+        List.fold_left
+          (fun acc m ->
+            check_io model sd.U.Sequence.sd_name m
+              (check_resolution model sd.U.Sequence.sd_name m acc))
+          acc sd.U.Sequence.sd_messages)
+      [] behaviours
+  in
+  let acc = check_set_get model behaviours acc in
+  check_deployment model acc

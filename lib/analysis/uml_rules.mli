@@ -1,0 +1,21 @@
+(** UML-level lint rules (codes UF001-UF005).
+
+    These check the hand-written model {e before} synthesis — the
+    conventions of paper §4.1 that the mapping assumes but only the
+    well-formedness validator partially enforces:
+
+    - [UF001] (error): a sequence message calls an operation the
+      callee's class does not declare, or names an undeclared object;
+    - [UF002] (warning): a thread-to-thread [Set*] delivers a token the
+      receiving thread never consumes;
+    - [UF003] (warning): a thread-to-thread [Get*] expects a token the
+      source thread never produces, or binds no result token at all;
+    - [UF004] (error/warning): a call to an [<<IO>>] object does not
+      follow the [get*]/[set*] prefix convention (error), or an IO read
+      binds no result token so no system port is generated (warning);
+    - [UF005] (error): the deployment diagram leaves a thread
+      undeployed, deploys it more than once, or deploys it to a node
+      that is not an [<<SAengine>>] processor. *)
+
+val check : Umlfront_uml.Model.t -> Diagnostic.t list
+(** Unsorted; {!Lint} sorts and counts. *)

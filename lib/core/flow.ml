@@ -39,7 +39,38 @@ let choose_allocation strategy uml =
    cost nothing when the sink is off. *)
 let phase name ?args f = Obs.Trace.with_span ~cat:"flow" ("flow." ^ name) ?args f
 
-let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
+(* The optional gate phase: lint the source and the synthesized CAAM,
+   surface every finding as a structured event, fail the run on what
+   the policy denies.  Kept after layout so the linted model is exactly
+   the one the emitters see. *)
+let lint_gate policy uml caam =
+  let module A = Umlfront_analysis in
+  let diagnostics = phase "lint" (fun () -> A.Lint.check ~uml caam) in
+  List.iter
+    (fun (d : A.Diagnostic.t) ->
+      Obs.Events.emit
+        ~level:
+          (match d.A.Diagnostic.severity with
+          | A.Diagnostic.Error -> Logs.Error
+          | A.Diagnostic.Warning | A.Diagnostic.Info -> Logs.Warning)
+        ~src:log
+        ~fields:
+          [
+            ("code", Umlfront_obs.Json.String d.A.Diagnostic.code);
+            ("path", Umlfront_obs.Json.String (A.Diagnostic.path_to_string d));
+            ("message", Umlfront_obs.Json.String d.A.Diagnostic.message);
+          ]
+        "flow.lint.diagnostic")
+    diagnostics;
+  match A.Lint.deny policy diagnostics with
+  | [] -> ()
+  | denied ->
+      invalid_arg
+        (Printf.sprintf "flow: lint gate failed (%s): %s"
+           (A.Diagnostic.summary diagnostics)
+           (A.Diagnostic.to_line (List.hd denied)))
+
+let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) ?gate uml =
   phase "run"
     ~args:(fun () -> [ ("model", Umlfront_obs.Json.String uml.Umlfront_uml.Model.model_name) ])
   @@ fun () ->
@@ -88,6 +119,7 @@ let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
     Log.info (fun m ->
         m "inserted %d temporal barrier(s)" barriered.Loop_breaker.delays_inserted);
   let caam = phase "layout" (fun () -> Umlfront_simulink.Layout.run barriered.Loop_breaker.model) in
+  Option.iter (fun policy -> lint_gate policy uml caam) gate;
   let mdl = phase "emit" (fun () -> Umlfront_simulink.Mdl_writer.to_string caam) in
   let fsms = phase "fsm" (fun () -> Uml2fsm.run uml) in
   let blocks = Umlfront_simulink.System.total_blocks caam.Umlfront_simulink.Model.root in

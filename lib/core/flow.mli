@@ -27,10 +27,17 @@ type output = {
 val run :
   ?style:Mapping.style ->
   ?strategy:allocation_strategy ->
+  ?gate:[ `Errors | `Warnings ] ->
   Umlfront_uml.Model.t ->
   output
-(** @raise Invalid_argument on a malformed model or
-    [Use_deployment] without a deployment diagram. *)
+(** [gate] adds a lint phase after synthesis: the UML source and the
+    generated CAAM are run through {!Umlfront_analysis.Lint.check},
+    every finding is emitted as a structured event, and findings the
+    policy denies ([`Errors], or also warnings with [`Warnings]) fail
+    the run.  Default: no gate.
+
+    @raise Invalid_argument on a malformed model, [Use_deployment]
+    without a deployment diagram, or a denied lint finding. *)
 
 val ecore_xml : output -> string
 (** The intermediate model-to-model artifact of Fig. 2: the generated

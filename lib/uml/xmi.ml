@@ -61,7 +61,17 @@ let deployment_to_xml (d : Deployment.t) =
   let nodes =
     List.map
       (fun (n : Deployment.node) ->
-        Xml.element ~attrs:[ ("name", n.node_name) ] "node" [])
+        (* The stereotype list is written even when empty: an absent
+           attribute means a legacy file, and the reader then falls
+           back to the <<SAengine>> default of {!Deployment.node}. *)
+        Xml.element
+          ~attrs:
+            [
+              ("name", n.node_name);
+              ( "stereotypes",
+                String.concat " " (List.map Stereotype.to_string n.node_stereotypes) );
+            ]
+          "node" [])
       d.dep_nodes
   in
   let bus =
@@ -237,7 +247,17 @@ let sequence_of_xml node =
 let deployment_of_xml node =
   let nodes =
     Xml.children_named "node" node
-    |> List.map (fun n -> Deployment.node (required n "name"))
+    |> List.map (fun n ->
+           match Xml.attr "stereotypes" n with
+           | None -> Deployment.node (required n "name")
+           | Some s ->
+               {
+                 Deployment.node_name = required n "name";
+                 node_stereotypes =
+                   String.split_on_char ' ' s
+                   |> List.filter (fun x -> not (String.equal x ""))
+                   |> List.map Stereotype.of_string;
+               })
   in
   let bus = Option.map (fun b -> required b "name") (Xml.child "bus" node) in
   let allocation =

@@ -1,0 +1,515 @@
+(* The static-analysis subsystem, exercised the adversarial way: for
+   every lint rule, a seeded-defect ("mutation") helper injects exactly
+   one defect into a clean case-study model and the rule must fire on
+   the mutant while the whole catalog stays silent on the original.
+   Plus: a qcheck property that the synthesizer only ever emits
+   lint-clean CAAMs, golden-file tests pinning the text/JSON report
+   formats byte-for-byte, and CLI tests driving the installed binary
+   through the lint/stats failure paths. *)
+
+module U = Umlfront_uml
+module A = Umlfront_analysis
+module D = Umlfront_analysis.Diagnostic
+module Core = Umlfront_core
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Caam = Umlfront_simulink.Caam
+module Model = Umlfront_simulink.Model
+module Sdf = Umlfront_dataflow.Sdf
+module CS = Umlfront_casestudies
+module Obs = Umlfront_obs
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let contains = Astring_contains.contains
+
+let crane () = CS.Crane_system.model ()
+let crane_caam () = (Core.Flow.run (crane ())).Core.Flow.caam
+
+let codes ds = List.sort_uniq String.compare (List.map (fun (d : D.t) -> d.D.code) ds)
+let fires code ds = check Alcotest.bool (code ^ " fires") true (List.mem code (codes ds))
+
+let silent_on name ds =
+  check Alcotest.(list string) (name ^ " is lint-clean") [] (codes ds)
+
+(* --- UML-level mutation helpers ------------------------------------ *)
+
+let add_messages uml msgs =
+  {
+    uml with
+    U.Model.sequences = uml.U.Model.sequences @ [ U.Sequence.make "mutant_sd" msgs ];
+  }
+
+(* Declare the operation on the callee class so an injected message
+   only trips the rule under test, not UF001 as well. *)
+let declare_op uml cls_name op =
+  {
+    uml with
+    U.Model.classes =
+      List.map
+        (fun (c : U.Classifier.cls) ->
+          if String.equal c.U.Classifier.cls_name cls_name then
+            { c with U.Classifier.cls_operations = c.U.Classifier.cls_operations @ [ op ] }
+          else c)
+        uml.U.Model.classes;
+  }
+
+let map_deployments uml f =
+  { uml with U.Model.deployments = List.map f uml.U.Model.deployments }
+
+let farg = U.Sequence.arg "v" U.Datatype.D_float
+
+let op_with_input name =
+  U.Operation.make ~params:[ U.Operation.param "v" U.Datatype.D_float ] name
+
+let op_with_return name =
+  U.Operation.make
+    ~params:[ U.Operation.param ~dir:U.Operation.Return "r" U.Datatype.D_float ]
+    name
+
+(* One mutant per UML rule. *)
+let mut_undeclared_operation uml =
+  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"sensorProc" "bogus" ]
+
+let mut_unknown_callee uml =
+  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"ghostObj" "poke" ]
+
+let mut_unconsumed_set uml =
+  let uml = declare_op uml "Tactuator_cls" (op_with_input "SetOrphan") in
+  add_messages uml
+    [
+      U.Sequence.message ~from:"Tcontrol" ~target:"Tactuator" "SetOrphan"
+        ~args:[ U.Sequence.arg "orphan" U.Datatype.D_float ];
+    ]
+
+let mut_unproduced_get uml =
+  let uml = declare_op uml "Tsensor_cls" (op_with_return "GetGhost") in
+  add_messages uml
+    [
+      U.Sequence.message ~from:"Tactuator" ~target:"Tsensor" "GetGhost"
+        ~result:(U.Sequence.arg "ghost" U.Datatype.D_float);
+    ]
+
+let mut_io_misuse uml =
+  let uml = declare_op uml "IODevice_cls" (op_with_input "pokeDevice") in
+  add_messages uml
+    [ U.Sequence.message ~from:"Tactuator" ~target:"IODevice" "pokeDevice" ~args:[ farg ] ]
+
+let mut_undeployed_thread uml =
+  map_deployments uml (fun dep ->
+      {
+        dep with
+        U.Deployment.dep_allocation =
+          List.filter
+            (fun (t, _) -> not (String.equal t "Tactuator"))
+            dep.U.Deployment.dep_allocation;
+      })
+
+let mut_node_without_saengine uml =
+  map_deployments uml (fun dep ->
+      {
+        dep with
+        U.Deployment.dep_nodes =
+          List.map
+            (fun (n : U.Deployment.node) -> { n with U.Deployment.node_stereotypes = [] })
+            dep.U.Deployment.dep_nodes;
+      })
+
+(* The only UML defects that survive the synthesizer (Mapping rejects
+   anything Validate flags) are the ones Validate does not police:
+   a node missing its <<SAengine>> stereotype and an IO read whose
+   result the mapping silently drops.  The gate and CLI tests use
+   these two. *)
+let mut_io_read_no_result uml =
+  let uml = declare_op uml "IODevice_cls" (U.Operation.make "getDangling") in
+  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"IODevice" "getDangling" ]
+
+(* --- CAAM-level mutation helpers ----------------------------------- *)
+
+let with_root (m : Model.t) root = { m with Model.root }
+
+let map_system_at (m : Model.t) path f =
+  with_root m (S.map_systems (fun p sys -> if p = path then f sys else sys) m.Model.root)
+
+let first_channel (m : Model.t) =
+  match Caam.channels m with
+  | ch :: _ -> ch
+  | [] -> Alcotest.fail "model has no channels"
+
+let mut_dangle_port m =
+  let cpu = List.hd (Caam.cpus m) in
+  map_system_at m [ cpu.S.blk_name ] (fun sys ->
+      match S.lines sys with
+      | l :: _ -> S.remove_line sys ~src:l.S.src ~dst:l.S.dst
+      | [] -> Alcotest.fail "CPU-SS has no lines")
+
+let mut_unconnected_sink m = with_root m (S.add_block m.Model.root B.Terminator "mut_sink")
+let mut_unconnected_source m = with_root m (S.add_block m.Model.root B.Constant "mut_src")
+
+let mut_duplicate_name m =
+  let cpu = List.hd (Caam.cpus m) in
+  map_system_at m [ cpu.S.blk_name ] (fun sys ->
+      { sys with S.sys_blocks = sys.S.sys_blocks @ [ List.hd sys.S.sys_blocks ] })
+
+let mut_flip_protocol m =
+  let path, ch = first_channel m in
+  map_system_at m path (fun sys ->
+      S.set_param sys ch.S.blk_name Caam.protocol_param (B.P_string "GFIFO"))
+
+let mut_strip_cpu_role m =
+  let cpu = List.hd (Caam.cpus m) in
+  with_root m (S.set_param m.Model.root cpu.S.blk_name Caam.role_param (B.P_string "none"))
+
+let mut_channel_fanout m =
+  let path, ch = first_channel m in
+  map_system_at m path (fun sys ->
+      let sys = S.add_block sys B.Terminator "mut_tap" in
+      S.add_line sys
+        ~src:{ S.block = ch.S.blk_name; port = 1 }
+        ~dst:{ S.block = "mut_tap"; port = 1 })
+
+(* The issue's "drop a UnitDelay": turn every temporal barrier into a
+   plain Gain (same port shape, no state) so the feedback loop becomes
+   a zero-delay cycle again. *)
+let mut_drop_unit_delay m =
+  with_root m
+    (S.map_systems
+       (fun _ sys ->
+         List.fold_left
+           (fun sys (b : S.block) ->
+             if b.S.blk_type = B.Unit_delay then
+               S.replace_block sys { b with S.blk_type = B.Gain }
+             else sys)
+           sys (S.blocks sys))
+       m.Model.root)
+
+(* Re-number one nested Inport so its subsystem's boundary port has no
+   matching block: the model keeps its structure but no longer flattens
+   to a dataflow graph (UF190). *)
+let mut_unflattenable m =
+  let mutated = ref false in
+  with_root m
+    (S.map_systems
+       (fun path sys ->
+         if !mutated || path = [] then sys
+         else
+           match S.blocks_of_type sys B.Inport with
+           | b :: _ ->
+               mutated := true;
+               S.set_param sys b.S.blk_name "Port" (B.P_int 99)
+           | [] -> sys)
+       m.Model.root)
+
+let mut_zero_capacity m =
+  let path, ch = first_channel m in
+  map_system_at m path (fun sys -> S.set_param sys ch.S.blk_name "Capacity" (B.P_int 0))
+
+(* --- rule-by-rule: mutant fires, original stays silent -------------- *)
+
+let uml_mutation_tests =
+  let positive code mutate =
+    test (code ^ " fires on its mutant") (fun () ->
+        fires code (A.Lint.check_uml (mutate (crane ()))))
+  in
+  [
+    positive "UF001" mut_undeclared_operation;
+    positive "UF001" mut_unknown_callee;
+    positive "UF002" mut_unconsumed_set;
+    positive "UF003" mut_unproduced_get;
+    positive "UF004" mut_io_misuse;
+    positive "UF004" mut_io_read_no_result;
+    positive "UF005" mut_undeployed_thread;
+    positive "UF005" mut_node_without_saengine;
+    test "UML rules silent on the clean crane model" (fun () ->
+        silent_on "crane (uml)" (A.Lint.check_uml (crane ())));
+    test "UF002 severity is warning, UF001 error" (fun () ->
+        let ds = A.Lint.check_uml (mut_unconsumed_set (crane ())) in
+        check Alcotest.bool "warning" true (D.errors ds = [] && D.warnings ds <> []);
+        let ds = A.Lint.check_uml (mut_undeclared_operation (crane ())) in
+        check Alcotest.bool "error" true (D.errors ds <> []));
+  ]
+
+let caam_mutation_tests =
+  let positive code mutate =
+    test (code ^ " fires on its mutant") (fun () ->
+        fires code (A.Lint.check_caam (mutate (crane_caam ()))))
+  in
+  [
+    positive "UF101" mut_dangle_port;
+    positive "UF101" mut_unconnected_sink;
+    positive "UF102" mut_unconnected_source;
+    positive "UF103" mut_duplicate_name;
+    positive "UF104" mut_flip_protocol;
+    positive "UF105" mut_strip_cpu_role;
+    positive "UF106" mut_channel_fanout;
+    positive "UF202" mut_drop_unit_delay;
+    positive "UF203" mut_zero_capacity;
+    test "UF190 fires when the mutant cannot be flattened" (fun () ->
+        fires "UF190" (A.Lint.check_caam (mut_unflattenable (crane_caam ()))));
+    test "CAAM rules silent on the clean crane CAAM" (fun () ->
+        silent_on "crane (caam)" (A.Lint.check_caam (crane_caam ())));
+    test "UF102/UF203 are warnings, UF104 an error" (fun () ->
+        let ds = A.Lint.check_caam (mut_unconnected_source (crane_caam ())) in
+        check Alcotest.bool "UF102 warning" true (D.errors ds = []);
+        let ds = A.Lint.check_caam (mut_zero_capacity (crane_caam ())) in
+        check Alcotest.bool "UF203 warning" true (D.errors ds = []);
+        let ds = A.Lint.check_caam (mut_flip_protocol (crane_caam ())) in
+        check Alcotest.bool "UF104 error" true (D.errors ds <> []));
+  ]
+
+(* --- SDF rules: repetition vector and deadlock ---------------------- *)
+
+let crane_sdf () = Sdf.of_model (crane_caam ())
+
+let delay_actor sdf =
+  List.find
+    (fun (a : Sdf.actor) -> a.Sdf.actor_block.S.blk_type = B.Unit_delay)
+    sdf.Sdf.actors
+
+let sdf_tests =
+  [
+    test "repetition vector of a single-rate graph is all ones" (fun () ->
+        let sdf = crane_sdf () in
+        match A.Sdf_rules.repetition_vector sdf with
+        | Ok counts ->
+            check Alcotest.int "actors" (List.length sdf.Sdf.actors) (List.length counts);
+            List.iter (fun (_, n) -> check Alcotest.int "count" 1 n) counts
+        | Error _ -> Alcotest.fail "expected a repetition vector");
+    test "UF201 fires on inconsistent rates around a cycle" (fun () ->
+        let sdf = crane_sdf () in
+        let delay = delay_actor sdf in
+        let rates (e : Sdf.edge) =
+          if String.equal e.Sdf.edge_src delay.Sdf.actor_name then (2, 1) else (1, 1)
+        in
+        match A.Sdf_rules.repetition_vector ~rates sdf with
+        | Error ds -> fires "UF201" ds
+        | Ok _ -> Alcotest.fail "expected inconsistent balance equations");
+    test "consistent multirate graph scales to smallest integers" (fun () ->
+        (* downsampler: b consumes 2 tokens per firing, so a fires twice *)
+        let root = S.empty "m" in
+        let root = S.add_block root B.Constant "a" in
+        let root = S.add_block ~params:[ ("Port", B.P_int 1) ] root B.Outport "b" in
+        let root = S.add_line root ~src:{ S.block = "a"; port = 1 } ~dst:{ S.block = "b"; port = 1 } in
+        let sdf = Sdf.of_model (Model.make ~name:"m" root) in
+        let rates _ = (1, 2) in
+        match A.Sdf_rules.repetition_vector ~rates sdf with
+        | Ok counts ->
+            check Alcotest.(list (pair string int)) "vector"
+              [ ("a", 2); ("b", 1) ]
+              (List.sort compare counts)
+        | Error _ -> Alcotest.fail "expected a repetition vector");
+    test "UF202 names the zero-delay cycle" (fun () ->
+        let ds = A.Lint.check_caam (mut_drop_unit_delay (crane_caam ())) in
+        match List.filter (fun (d : D.t) -> String.equal d.D.code "UF202") ds with
+        | d :: _ ->
+            check Alcotest.bool "cycle named" true (contains d.D.message "->")
+        | [] -> Alcotest.fail "expected UF202");
+    test "buffer bounds: one slot per forward channel on crane" (fun () ->
+        let sdf = crane_sdf () in
+        let bounds = A.Sdf_rules.buffer_bounds sdf in
+        check Alcotest.bool "has channels" true (bounds <> []);
+        List.iter (fun (_, b) -> check Alcotest.bool "1 or 2 slots" true (b >= 1 && b <= 2)) bounds);
+  ]
+
+(* --- the synthesizer invariant: Flow output is always lint-clean ---- *)
+
+let qcheck_flow_lint_clean =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"flow emits a lint-clean CAAM for 100 random workloads" ~count:100
+       (QCheck.make
+          ~print:(fun (wide, seed, a, b) ->
+            Printf.sprintf "(%s, seed %d, %d, %d)"
+              (if wide then "wide" else "pipeline")
+              seed a b)
+          QCheck.Gen.(quad bool (0 -- 1000) (2 -- 6) (0 -- 3)))
+       (fun (wide, seed, a, b) ->
+         let uml =
+           if wide then CS.Random_models.wide ~seed ~branches:(1 + b) ~depth:(a - 1)
+           else CS.Random_models.pipeline ~seed ~threads:a ~extra_edges:b
+         in
+         let out = Core.Flow.run uml in
+         A.Lint.check ~uml out.Core.Flow.caam = []))
+
+(* --- every bundled case study is lint-clean ------------------------- *)
+
+let case_study_tests =
+  let clean name model =
+    test (name ^ " case study is lint-clean") (fun () ->
+        let uml = model () in
+        let out = Core.Flow.run uml in
+        silent_on name (A.Lint.check ~uml out.Core.Flow.caam))
+  in
+  [
+    clean "didactic" CS.Didactic.model;
+    clean "crane" CS.Crane_system.model;
+    clean "synthetic" CS.Synthetic_system.model;
+    clean "elevator" CS.Elevator_system.model;
+    clean "mjpeg" CS.Mjpeg_system.model;
+  ]
+
+(* --- the Flow gate phase -------------------------------------------- *)
+
+let gate_tests =
+  [
+    test "gate passes on a clean model" (fun () ->
+        ignore (Core.Flow.run ~gate:`Warnings (crane ())));
+    test "gate rejects a lint error" (fun () ->
+        match Core.Flow.run ~gate:`Errors (mut_node_without_saengine (crane ())) with
+        | exception Invalid_argument msg ->
+            check Alcotest.bool "names the gate" true (contains msg "lint gate failed");
+            check Alcotest.bool "names the rule" true (contains msg "UF005")
+        | _ -> Alcotest.fail "expected the gate to fail the run");
+    test "gate with `Errors lets warnings through, `Warnings does not" (fun () ->
+        let uml = mut_io_read_no_result (crane ()) in
+        ignore (Core.Flow.run ~gate:`Errors uml);
+        match Core.Flow.run ~gate:`Warnings uml with
+        | exception Invalid_argument msg ->
+            check Alcotest.bool "names UF004" true (contains msg "UF004")
+        | _ -> Alcotest.fail "expected --deny warnings semantics to fail the run");
+  ]
+
+(* --- per-rule counters in the metrics registry ---------------------- *)
+
+let counter_value name =
+  match
+    List.find_opt
+      (fun (s : Obs.Metrics.stat) -> String.equal s.Obs.Metrics.s_name name)
+      (Obs.Metrics.snapshot ())
+  with
+  | Some s -> s.Obs.Metrics.s_count
+  | None -> 0
+
+let metrics_tests =
+  [
+    test "lint bumps per-rule counters" (fun () ->
+        let before = counter_value "lint.UF104" in
+        let runs_before = counter_value "lint.runs" in
+        ignore (A.Lint.check_caam (mut_flip_protocol (crane_caam ())));
+        check Alcotest.bool "lint.UF104 counted" true (counter_value "lint.UF104" > before);
+        check Alcotest.bool "lint.runs counted" true (counter_value "lint.runs" > runs_before));
+  ]
+
+(* --- golden files: report rendering pinned byte-for-byte ------------ *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let golden name content =
+  check Alcotest.string name (read_file (Filename.concat "golden" name)) content
+
+(* A deterministic multi-defect mutant exercising every report shape:
+   errors, warnings, hints, and both renderers. *)
+let defect_report () =
+  let uml = mut_undeployed_thread (crane ()) in
+  let caam = mut_unconnected_sink (mut_zero_capacity (mut_flip_protocol (crane_caam ()))) in
+  A.Lint.check ~uml caam
+
+let golden_tests =
+  let clean_case name model =
+    [
+      test (name ^ " lint text report matches golden") (fun () ->
+          let uml = model () in
+          let ds = A.Lint.check ~uml (Core.Flow.run uml).Core.Flow.caam in
+          golden (name ^ ".lint.txt") (D.render ds));
+      test (name ^ " lint JSON report matches golden") (fun () ->
+          let uml = model () in
+          let ds = A.Lint.check ~uml (Core.Flow.run uml).Core.Flow.caam in
+          golden (name ^ ".lint.json")
+            (Obs.Json.to_string (D.list_to_json ~file:name ds) ^ "\n"));
+    ]
+  in
+  clean_case "crane" CS.Crane_system.model
+  @ clean_case "synthetic" CS.Synthetic_system.model
+  @ [
+      test "seeded-defect text report matches golden" (fun () ->
+          golden "crane_defects.lint.txt" (D.render (defect_report ())));
+      test "seeded-defect JSON report matches golden" (fun () ->
+          golden "crane_defects.lint.json"
+            (Obs.Json.to_string (D.list_to_json ~file:"crane_defects" (defect_report ()))
+            ^ "\n"));
+    ]
+
+(* --- the CLI: lint/stats flag handling and exit codes ---------------- *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "umlfront.exe")
+
+let run_cli args =
+  let out = Filename.temp_file "umlfront_cli" ".out" in
+  let err = Filename.temp_file "umlfront_cli" ".err" in
+  let code = Sys.command (Printf.sprintf "%s %s >%s 2>%s" exe args out err) in
+  let slurp f =
+    let s = read_file f in
+    Sys.remove f;
+    s
+  in
+  (code, slurp out, slurp err)
+
+let save_model uml =
+  let file = Filename.temp_file "umlfront_lint" ".xml" in
+  U.Xmi.save uml file;
+  file
+
+let cli_tests =
+  [
+    test "lint: clean model exits 0" (fun () ->
+        let file = save_model (crane ()) in
+        let code, out, _ = run_cli ("lint " ^ Filename.quote file) in
+        Sys.remove file;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "reports clean" true (contains out "clean"));
+    test "lint: error model exits 1 and names the rule" (fun () ->
+        let file = save_model (mut_node_without_saengine (crane ())) in
+        let code, out, _ = run_cli ("lint " ^ Filename.quote file) in
+        Sys.remove file;
+        check Alcotest.int "exit" 1 code;
+        check Alcotest.bool "names UF005" true (contains out "UF005"));
+    test "lint: --deny warnings promotes warnings to failure" (fun () ->
+        let file = save_model (mut_io_read_no_result (crane ())) in
+        let lax, out, _ = run_cli ("lint " ^ Filename.quote file) in
+        let strict, _, _ = run_cli ("lint --deny warnings " ^ Filename.quote file) in
+        Sys.remove file;
+        check Alcotest.int "without --deny" 0 lax;
+        check Alcotest.bool "names UF004" true (contains out "UF004");
+        check Alcotest.int "with --deny warnings" 1 strict);
+    test "lint: --format json emits one object per file" (fun () ->
+        let file = save_model (crane ()) in
+        let code, out, _ = run_cli ("lint --format json " ^ Filename.quote file) in
+        Sys.remove file;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "is a json list" true (String.length out > 0 && out.[0] = '[');
+        check Alcotest.bool "has errors field" true (contains out "\"errors\":0"));
+    test "lint and stats reject unknown flags the same way (exit 124)" (fun () ->
+        let lint_code, _, lint_err = run_cli "lint --no-such-flag model.xml" in
+        let stats_code, _, stats_err = run_cli "stats --no-such-flag model.xml" in
+        check Alcotest.int "lint exit" 124 lint_code;
+        check Alcotest.int "stats exit" 124 stats_code;
+        check Alcotest.bool "lint message" true (contains lint_err "unknown option");
+        check Alcotest.bool "stats message" true (contains stats_err "unknown option"));
+    test "global --profile without an argument exits 124 with a hint" (fun () ->
+        let code, _, err = run_cli "lint --profile" in
+        check Alcotest.int "exit" 124 code;
+        check Alcotest.bool "message" true (contains err "needs an argument");
+        check Alcotest.bool "help pointer" true (contains err "--help"));
+    test "lint: no models and no --rules is an error" (fun () ->
+        let code, _, err = run_cli "lint" in
+        check Alcotest.int "exit" 124 code;
+        check Alcotest.bool "message" true (contains err "no MODEL.xml"));
+    test "lint: --rules prints the catalog" (fun () ->
+        let code, out, _ = run_cli "lint --rules" in
+        check Alcotest.int "exit" 0 code;
+        List.iter
+          (fun (c, _, _) -> check Alcotest.bool c true (contains out c))
+          A.Lint.rules);
+  ]
+
+let suite =
+  [
+    ("analysis: uml mutations", uml_mutation_tests);
+    ("analysis: caam mutations", caam_mutation_tests);
+    ("analysis: sdf rules", sdf_tests);
+    ("analysis: case studies", case_study_tests @ [ qcheck_flow_lint_clean ]);
+    ("analysis: flow gate", gate_tests);
+    ("analysis: metrics", metrics_tests);
+    ("analysis: golden reports", golden_tests);
+    ("analysis: cli", cli_tests);
+  ]

@@ -335,6 +335,26 @@ let xmi_tests =
             check Alcotest.(option string) "alloc" (Some "CPU1")
               (Deployment.node_of_thread d "T2")
         | None -> Alcotest.fail "deployment lost");
+    test "round-trip preserves node stereotypes, even stripped ones" (fun () ->
+        let strip (n : Deployment.node) = { n with Deployment.node_stereotypes = [] } in
+        let m = sample_uml () in
+        let m =
+          {
+            m with
+            Model.deployments =
+              List.map
+                (fun d ->
+                  { d with Deployment.dep_nodes = List.map strip d.Deployment.dep_nodes })
+                m.Model.deployments;
+          }
+        in
+        match Model.deployment (Xmi.of_string (Xmi.to_string m)) with
+        | Some d ->
+            List.iter
+              (fun (n : Deployment.node) ->
+                check Alcotest.bool "stays stripped" true (n.Deployment.node_stereotypes = []))
+              d.Deployment.dep_nodes
+        | None -> Alcotest.fail "deployment lost");
     test "round-trip preserves statechart shape" (fun () ->
         let m = Model.make ~statecharts:[ statechart_sample ] "sc" in
         let m' = Xmi.of_string (Xmi.to_string m) in
