@@ -14,6 +14,8 @@
      umlfront report model.xml               full flow summary
      umlfront stats model.xml                run the flow instrumented, print metrics
      umlfront lint model.xml [more.xml...]   static analysis: UML, CAAM and SDF rules
+     umlfront conform model.xml              diff every backend against the reference
+     umlfront fuzz --seed 42 --count 50      conformance-fuzz random models
 
    Any subcommand accepts a global `--profile FILE.json`: the run is
    traced (spans per flow phase, parser/executor metrics) and a Chrome
@@ -573,6 +575,141 @@ let lint_cmd =
         $ models_arg $ strategy_arg $ cpus_arg $ jobs_arg $ format_arg $ deny_arg
         $ rules_arg))
 
+let conform_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: text or json.")
+
+(* `--backends seq,par,kpn,c,kpn-src` (default: all). *)
+let backends_arg =
+  let doc =
+    "Comma-separated backends to check: seq, par, kpn, c, kpn-src (default: all)."
+  in
+  Arg.(value & opt (some string) None & info [ "backends" ] ~docv:"LIST" ~doc)
+
+let parse_backends = function
+  | None -> None
+  | Some csv ->
+      Some
+        (List.map
+           (fun name ->
+             match Umlfront_conformance.Conform.backend_of_string (String.trim name) with
+             | Ok b -> b
+             | Error e -> failwith e)
+           (String.split_on_char ',' csv))
+
+let conform_cmd =
+  let module Conf = Umlfront_conformance.Conform in
+  let action path backends rounds strategy cpus jobs format =
+    let backends = parse_backends backends in
+    (* A .mdl input is checked as-is — that is how a fuzz-corpus
+       minimized counterexample reproduces faithfully, without the
+       flow resynthesizing anything. *)
+    let caam =
+      if Filename.check_suffix path ".mdl" then
+        Umlfront_simulink.Mdl_parser.parse_file path
+      else (run_flow path strategy cpus).Core.Flow.caam
+    in
+    let report =
+      with_jobs jobs (fun pool -> Conf.check ?backends ~rounds ?pool caam)
+    in
+    (match format with
+    | `Text -> print_string (Conf.render report)
+    | `Json -> print_endline (Obs.Json.to_string (Conf.to_json report)));
+    if not (Conf.agree report) then exit 1
+  in
+  let model_arg =
+    let doc = "UML model (XMI) or Simulink CAAM ($(b,.mdl))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Differential conformance check: run the model through every backend \
+          (sequential, parallel, KPN, generated C, emitted KPN source) and diff \
+          the traces against the SDF reference executor; exit non-zero on \
+          disagreement")
+    Term.(
+      term_result'
+        (const (fun path backends rounds strategy cpus jobs format ->
+             protect (fun () -> action path backends rounds strategy cpus jobs format))
+        $ model_arg $ backends_arg $ rounds_arg $ strategy_arg $ cpus_arg $ jobs_arg
+        $ conform_format_arg))
+
+let fuzz_cmd =
+  let module Conf = Umlfront_conformance.Conform in
+  let module Fuzz = Umlfront_conformance.Fuzz in
+  let action seed count backends rounds shrink corpus =
+    let backends = parse_backends backends in
+    let progress (c : Fuzz.case) =
+      let verdict =
+        match Conf.disagreements c.Fuzz.report with
+        | [] -> "agree"
+        | ds ->
+            "DISAGREE: "
+            ^ String.concat ", " (List.map (fun (b, _) -> Conf.backend_name b) ds)
+      in
+      Printf.printf "case %3d  %-10s  seed %-8d  %s\n%!" c.Fuzz.index c.Fuzz.shape
+        c.Fuzz.case_seed verdict
+    in
+    let outcome =
+      Fuzz.run ?backends ~rounds ~shrink ~corpus ~progress ~seed ~count ()
+    in
+    Printf.printf "checked %d model(s), skipped %d, %d disagreement(s)\n"
+      outcome.Fuzz.checked outcome.Fuzz.skipped
+      (List.length outcome.Fuzz.failures);
+    List.iter
+      (fun (f : Fuzz.counterexample) ->
+        let c = f.Fuzz.case in
+        (match f.Fuzz.shrink_stats with
+        | Some (s : Umlfront_conformance.Shrink.stats) ->
+            Printf.printf "  %s (%s): shrunk %d -> %d blocks in %d attempts\n"
+              c.Fuzz.report.Conf.model_name c.Fuzz.shape s.Umlfront_conformance.Shrink.initial_blocks
+              s.Umlfront_conformance.Shrink.final_blocks
+              s.Umlfront_conformance.Shrink.attempts
+        | None ->
+            Printf.printf "  %s (%s): shrinking disabled\n"
+              c.Fuzz.report.Conf.model_name c.Fuzz.shape);
+        Option.iter (Printf.printf "  counterexample written to %s\n") f.Fuzz.corpus_dir)
+      outcome.Fuzz.failures;
+    if outcome.Fuzz.failures <> [] then exit 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed for model generation.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random models to check.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize each counterexample by greedy deletion before writing it.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory for counterexample artifacts (XMI, .mdl, repro commands).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Conformance-fuzz the backends: generate random UML models (pipelines, \
+          scatter/gather, cyclic, multi-CPU, multi-rate), check every backend \
+          against the reference executor, shrink and record any counterexample; \
+          exit non-zero on disagreement")
+    Term.(
+      term_result'
+        (const (fun seed count backends rounds shrink corpus ->
+             protect (fun () -> action seed count backends rounds shrink corpus))
+        $ seed_arg $ count_arg $ backends_arg $ rounds_arg $ shrink_arg $ corpus_arg))
+
 let () =
   (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)
   let verbosity =
@@ -630,5 +767,5 @@ let () =
           [
             map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
             partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
-            plantuml_cmd; report_cmd; stats_cmd; lint_cmd;
+            plantuml_cmd; report_cmd; stats_cmd; lint_cmd; conform_cmd; fuzz_cmd;
           ]))

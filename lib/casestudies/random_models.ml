@@ -3,13 +3,22 @@ module U = Umlfront_uml
 let arg = U.Sequence.arg
 let payload n = U.Datatype.D_named ("buf", n)
 
-let pipeline ~seed ~threads ~extra_edges =
+let pipeline_gen ~cpus ~seed ~threads ~extra_edges =
   let state = Random.State.make [| seed |] in
-  let b = U.Builder.create (Printf.sprintf "rand%d" seed) in
+  let prefix = if cpus > 0 then "cpu" else "rand" in
+  let b = U.Builder.create (Printf.sprintf "%s%d" prefix seed) in
   let name i = Printf.sprintf "T%c" (Char.chr (Char.code 'A' + i)) in
   for i = 0 to threads - 1 do
     U.Builder.thread b (name i)
   done;
+  if cpus > 0 then (
+    for c = 1 to cpus do
+      U.Builder.cpu b (Printf.sprintf "CPU%d" c)
+    done;
+    for i = 0 to threads - 1 do
+      U.Builder.allocate b ~thread:(name i)
+        ~cpu:(Printf.sprintf "CPU%d" ((i mod cpus) + 1))
+    done);
   U.Builder.io_device b "IO";
   for i = 0 to threads - 1 do
     U.Builder.passive_object b ~cls:("W" ^ name i) ("w" ^ name i)
@@ -56,6 +65,93 @@ let pipeline ~seed ~threads ~extra_edges =
     ~from:(name (threads - 1))
     ~target:"IO" "setOut"
     ~args:[ work_token (threads - 1) ];
+  U.Builder.finish b
+
+let pipeline ~seed ~threads ~extra_edges =
+  pipeline_gen ~cpus:0 ~seed ~threads ~extra_edges
+
+let multi_cpu ~seed ~threads ~cpus ~extra_edges =
+  pipeline_gen ~cpus:(max 1 cpus) ~seed ~threads ~extra_edges
+
+let cyclic ~seed ~stages =
+  let state = Random.State.make [| seed |] in
+  let b = U.Builder.create (Printf.sprintf "cyc%d" seed) in
+  let stage i = Printf.sprintf "S%d" i in
+  U.Builder.thread b "Tsensor";
+  U.Builder.thread b "Tctl";
+  for i = 0 to stages - 1 do
+    U.Builder.thread b (stage i)
+  done;
+  U.Builder.platform b "Platform";
+  U.Builder.io_device b "IO";
+  U.Builder.passive_object b ~cls:"Sense" "sense";
+  let f = U.Datatype.D_float in
+  U.Builder.call b ~from:"Tsensor" ~target:"IO" "getIn" ~result:(arg "s" f);
+  U.Builder.call b ~from:"Tsensor" ~target:"sense" "cond" ~args:[ arg "s" f ]
+    ~result:(arg "m" f);
+  U.Builder.call b ~from:"Tctl" ~target:"Tsensor" "GetM" ~result:(arg "m" f);
+  (* [u] is used before [sat] defines it — the crane-style cyclic data
+     dependency the §4.2.2 loop breaker must cut with a UnitDelay. *)
+  U.Builder.call b ~from:"Tctl" ~target:"Platform" "sub"
+    ~args:[ arg "m" f; arg "u" f ]
+    ~result:(arg "e" f);
+  U.Builder.call b ~from:"Tctl" ~target:"Platform" "gain" ~args:[ arg "e" f ]
+    ~result:(arg "c" f);
+  U.Builder.call b ~from:"Tctl" ~target:"Platform" "sat" ~args:[ arg "c" f ]
+    ~result:(arg "u" f);
+  let prev = ref ("Tctl", "u") in
+  for i = 0 to stages - 1 do
+    let src, tok = !prev in
+    let th = stage i in
+    U.Builder.call b ~from:src ~target:th (Printf.sprintf "Set_%s" th)
+      ~args:[ arg tok f ];
+    let out = Printf.sprintf "y%d" i in
+    (if Random.State.bool state then
+       U.Builder.call b ~from:th ~target:"Platform" "gain" ~args:[ arg tok f ]
+         ~result:(arg out f)
+     else (
+       U.Builder.passive_object b ~cls:("W" ^ th) ("w" ^ th);
+       U.Builder.call b ~from:th ~target:("w" ^ th) "work" ~args:[ arg tok f ]
+         ~result:(arg out f)));
+    prev := (th, out)
+  done;
+  let last, tok = !prev in
+  U.Builder.call b ~from:last ~target:"IO" "setOut" ~args:[ arg tok f ];
+  U.Builder.finish b
+
+let chatty ~seed ~threads ~width =
+  let state = Random.State.make [| seed |] in
+  let b = U.Builder.create (Printf.sprintf "chat%d" seed) in
+  let name i = Printf.sprintf "C%d" i in
+  let f = U.Datatype.D_float in
+  for i = 0 to threads - 1 do
+    U.Builder.thread b (name i)
+  done;
+  U.Builder.io_device b "IO";
+  for i = 0 to threads - 1 do
+    U.Builder.passive_object b ~cls:("W" ^ name i) ("w" ^ name i)
+  done;
+  U.Builder.call b ~from:(name 0) ~target:"IO" "getIn" ~result:(arg "x0" f);
+  let inputs = ref [ arg "x0" f ] in
+  for i = 0 to threads - 1 do
+    let th = name i in
+    let fused = arg ("m" ^ th) f in
+    U.Builder.call b ~from:th ~target:("w" ^ th) "fuse" ~args:!inputs ~result:fused;
+    if i < threads - 1 then (
+      let next = name (i + 1) in
+      let w = 1 + Random.State.int state (max 1 width) in
+      inputs :=
+        List.init w (fun k ->
+            let t = arg (Printf.sprintf "t%d_%d" i k) f in
+            U.Builder.call b ~from:th ~target:("w" ^ th)
+              (Printf.sprintf "chan%d" k)
+              ~args:[ fused ] ~result:t;
+            U.Builder.call b ~from:th ~target:next
+              (Printf.sprintf "Set%d_%d" i k)
+              ~args:[ t ];
+            t))
+    else U.Builder.call b ~from:th ~target:"IO" "setOut" ~args:[ fused ]
+  done;
   U.Builder.finish b
 
 let wide ~seed ~branches ~depth =

@@ -19,6 +19,30 @@ let sanitize s =
   if mapped = "" || (mapped.[0] >= '0' && mapped.[0] <= '9') then "x" ^ mapped
   else mapped
 
+(* [sanitize] is lossy ("a.b" and "a_b" both map to "a_b"), so every
+   generation scopes its identifiers through a memoized namer: the
+   first name to claim an identifier keeps it, later claimants get a
+   [_2], [_3], … suffix.  Deterministic, because emission order is. *)
+let make_namer () =
+  let assigned = Hashtbl.create 16 and taken = Hashtbl.create 16 in
+  fun raw ->
+    match Hashtbl.find_opt assigned raw with
+    | Some ident -> ident
+    | None ->
+        let base = sanitize raw in
+        let ident =
+          if not (Hashtbl.mem taken base) then base
+          else
+            let rec next i =
+              let candidate = Printf.sprintf "%s_%d" base i in
+              if Hashtbl.mem taken candidate then next (i + 1) else candidate
+            in
+            next 2
+        in
+        Hashtbl.replace taken ident ();
+        Hashtbl.replace assigned raw ident;
+        ident
+
 (* Thread grouping: functional actors live under cpu/thread; top-level
    ports belong to the environment (handled by main). *)
 type owner = Env | Worker of string * string  (* cpu, thread *)
@@ -78,11 +102,11 @@ let build_fifos sdf =
 let fifo_for fifos (e : Sdf.edge) =
   List.find_opt (fun f -> f.fifo_edge = e) fifos
 
-let out_var a port = Printf.sprintf "v_%s_%d" (sanitize a.Sdf.actor_name) port
-let state_var a = Printf.sprintf "state_%s" (sanitize a.Sdf.actor_name)
-let snapshot_var a = Printf.sprintf "snap_%s" (sanitize a.Sdf.actor_name)
+let out_var ident a port = Printf.sprintf "v_%s_%d" (ident a.Sdf.actor_name) port
+let state_var ident a = Printf.sprintf "state_%s" (ident a.Sdf.actor_name)
+let snapshot_var ident a = Printf.sprintf "snap_%s" (ident a.Sdf.actor_name)
 
-let sfunctions_header sfuncs =
+let sfunctions_header sfn sfuncs =
   let t = M2t.create () in
   M2t.line t "#ifndef UMLFRONT_SFUNCTIONS_H";
   M2t.line t "#define UMLFRONT_SFUNCTIONS_H";
@@ -90,13 +114,13 @@ let sfunctions_header sfuncs =
   List.iter
     (fun (name, _) ->
       M2t.line t "void sfun_%s(const double *in, int n_in, double *out, int n_out);"
-        (sanitize name))
+        (sfn name))
     sfuncs;
   M2t.blank t;
   M2t.line t "#endif";
   M2t.contents t
 
-let sfunctions_source sfuncs =
+let sfunctions_source sfn sfuncs =
   let t = M2t.create () in
   M2t.line t "#include \"sfunctions.h\"";
   M2t.blank t;
@@ -107,7 +131,7 @@ let sfunctions_source sfuncs =
       let a, b = default_constants name in
       M2t.blank t;
       M2t.line t "void sfun_%s(const double *in, int n_in, double *out, int n_out) {"
-        (sanitize name);
+        (sfn name);
       M2t.indented t (fun () ->
           M2t.line t "double total = 0.0;";
           M2t.line t "for (int i = 0; i < n_in; ++i) total += in[i];";
@@ -118,7 +142,7 @@ let sfunctions_source sfuncs =
   M2t.contents t
 
 (* Input expression of one actor input port inside its thread body. *)
-let input_expr sdf fifos popped (a : Sdf.actor) port =
+let input_expr ident sdf fifos popped (a : Sdf.actor) port =
   let feeding =
     Sdf.preds sdf a.Sdf.actor_name
     |> List.find_opt (fun (e : Sdf.edge) -> e.Sdf.edge_dst_port = port)
@@ -133,10 +157,10 @@ let input_expr sdf fifos popped (a : Sdf.actor) port =
           | None -> Printf.sprintf "fifo_pop(&%s)" f.fifo_var)
       | None ->
           let src = Option.get (Sdf.find_actor sdf e.Sdf.edge_src) in
-          if is_delay src then snapshot_var src
-          else out_var src e.Sdf.edge_src_port)
+          if is_delay src then snapshot_var ident src
+          else out_var ident src e.Sdf.edge_src_port)
 
-let emit_actor t sdf fifos (a : Sdf.actor) =
+let emit_actor t ident sfn sdf fifos (a : Sdf.actor) =
   let blk = a.Sdf.actor_block in
   (* Pop every cross-thread input exactly once, in edge order. *)
   let popped =
@@ -144,13 +168,13 @@ let emit_actor t sdf fifos (a : Sdf.actor) =
     |> List.filter_map (fun (e : Sdf.edge) ->
            match fifo_for fifos e with
            | Some f ->
-               let tmp = Printf.sprintf "p_%s_%d" (sanitize a.Sdf.actor_name) e.Sdf.edge_dst_port in
+               let tmp = Printf.sprintf "p_%s_%d" (ident a.Sdf.actor_name) e.Sdf.edge_dst_port in
                M2t.line t "double %s = fifo_pop(&%s);" tmp f.fifo_var;
                Some (f.fifo_var, tmp)
            | None -> None)
   in
-  let input port = input_expr sdf fifos popped a port in
-  let simple_out expr = M2t.line t "double %s = %s;" (out_var a 1) expr in
+  let input port = input_expr ident sdf fifos popped a port in
+  let simple_out expr = M2t.line t "double %s = %s;" (out_var ident a 1) expr in
   (match blk.S.blk_type with
   | B.Constant -> simple_out (Printf.sprintf "%.17g" (param_float blk "Value" 0.0))
   | B.Ground -> simple_out "0.0"
@@ -207,23 +231,23 @@ let emit_actor t sdf fifos (a : Sdf.actor) =
   | B.Mux -> simple_out (input 1)
   | B.Demux ->
       for p = 1 to a.Sdf.actor_outputs do
-        M2t.line t "double %s = %s;" (out_var a p) (input 1)
+        M2t.line t "double %s = %s;" (out_var ident a p) (input 1)
       done
   | B.Terminator -> M2t.line t "(void)(%s);" (input 1)
-  | B.Unit_delay -> M2t.line t "%s = %s;" (state_var a) (input 1)
+  | B.Unit_delay -> M2t.line t "%s = %s;" (state_var ident a) (input 1)
   | B.S_function ->
       let fn = sfunction_name blk in
       let n_in = a.Sdf.actor_inputs in
-      M2t.line t "double in_%s[%d];" (sanitize a.Sdf.actor_name) (max n_in 1);
+      M2t.line t "double in_%s[%d];" (ident a.Sdf.actor_name) (max n_in 1);
       List.iteri
         (fun i _ ->
-          M2t.line t "in_%s[%d] = %s;" (sanitize a.Sdf.actor_name) i (input (i + 1)))
+          M2t.line t "in_%s[%d] = %s;" (ident a.Sdf.actor_name) i (input (i + 1)))
         (List.init n_in (fun i -> i));
-      M2t.line t "double out_%s[%d];" (sanitize a.Sdf.actor_name) (max a.Sdf.actor_outputs 1);
-      M2t.line t "sfun_%s(in_%s, %d, out_%s, %d);" (sanitize fn)
-        (sanitize a.Sdf.actor_name) n_in (sanitize a.Sdf.actor_name) a.Sdf.actor_outputs;
+      M2t.line t "double out_%s[%d];" (ident a.Sdf.actor_name) (max a.Sdf.actor_outputs 1);
+      M2t.line t "sfun_%s(in_%s, %d, out_%s, %d);" (sfn fn)
+        (ident a.Sdf.actor_name) n_in (ident a.Sdf.actor_name) a.Sdf.actor_outputs;
       for p = 1 to a.Sdf.actor_outputs do
-        M2t.line t "double %s = out_%s[%d];" (out_var a p) (sanitize a.Sdf.actor_name) (p - 1)
+        M2t.line t "double %s = out_%s[%d];" (out_var ident a p) (ident a.Sdf.actor_name) (p - 1)
       done
   | B.Inport | B.Outport | B.Subsystem | B.Channel ->
       invalid_arg "gen_threads: structural block in a thread body");
@@ -232,10 +256,15 @@ let emit_actor t sdf fifos (a : Sdf.actor) =
     Sdf.succs sdf a.Sdf.actor_name
     |> List.iter (fun (e : Sdf.edge) ->
            match fifo_for fifos e with
-           | Some f -> M2t.line t "fifo_push(&%s, %s);" f.fifo_var (out_var a e.Sdf.edge_src_port)
+           | Some f -> M2t.line t "fifo_push(&%s, %s);" f.fifo_var (out_var ident a e.Sdf.edge_src_port)
            | None -> ())
 
-let model_source ~rounds (m : Model.t) sdf fifos order =
+let model_source ~rounds ident sfn (m : Model.t) sdf fifos order =
+  (* Worker functions have their own namespace: run_<cpu>_<thread>. *)
+  let worker_ident =
+    let namer = make_namer () in
+    fun (cpu, thread) -> namer (cpu ^ "/" ^ thread)
+  in
   let t = M2t.create () in
   let actor name = Option.get (Sdf.find_actor sdf name) in
   M2t.line t "/* Generated from CAAM model %s.  One POSIX thread per Thread-SS;" m.Model.model_name;
@@ -258,7 +287,7 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
   List.iter
     (fun (a : Sdf.actor) ->
       if is_delay a then
-        M2t.line t "static double %s = %.17g;" (state_var a)
+        M2t.line t "static double %s = %.17g;" (state_var ident a)
           (param_float a.Sdf.actor_block "InitialCondition" 0.0))
     sdf.Sdf.actors;
   (* Workers. *)
@@ -279,7 +308,7 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
       in
       M2t.blank t;
       M2t.line t "/* Thread-SS %s on CPU-SS %s */" thread cpu;
-      M2t.line t "static void *run_%s_%s(void *arg) {" (sanitize cpu) (sanitize thread);
+      M2t.line t "static void *run_%s(void *arg) {" (worker_ident (cpu, thread));
       M2t.indented t (fun () ->
           M2t.line t "(void)arg;";
           M2t.line t "for (int round = 0; round < ROUNDS; ++round) {";
@@ -289,15 +318,15 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
                 (fun name ->
                   let a = actor name in
                   if is_delay a then (
-                    M2t.line t "double %s = %s;" (snapshot_var a) (state_var a);
+                    M2t.line t "double %s = %s;" (snapshot_var ident a) (state_var ident a);
                     Sdf.succs sdf a.Sdf.actor_name
                     |> List.iter (fun (e : Sdf.edge) ->
                            match fifo_for fifos e with
                            | Some f ->
-                               M2t.line t "fifo_push(&%s, %s);" f.fifo_var (snapshot_var a)
+                               M2t.line t "fifo_push(&%s, %s);" f.fifo_var (snapshot_var ident a)
                            | None -> ())))
                 mine;
-              List.iter (fun name -> emit_actor t sdf fifos (actor name)) mine);
+              List.iter (fun name -> emit_actor t ident sfn sdf fifos (actor name)) mine);
           M2t.line t "}";
           M2t.line t "return 0;");
       M2t.line t "}")
@@ -335,8 +364,8 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
       M2t.line t "pthread_t workers[%d];" (max 1 (List.length workers));
       List.iteri
         (fun i (cpu, thread) ->
-          M2t.line t "pthread_create(&workers[%d], 0, run_%s_%s, 0);" i (sanitize cpu)
-            (sanitize thread))
+          M2t.line t "pthread_create(&workers[%d], 0, run_%s, 0);" i
+            (worker_ident (cpu, thread)))
         workers;
       M2t.line t "for (int round = 0; round < ROUNDS; ++round) {";
       M2t.indented t (fun () ->
@@ -345,11 +374,11 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
               let a = actor name in
               (* Same stimulus as the reference simulator. *)
               let h = Hashtbl.hash a.Sdf.actor_name mod 10 in
-              M2t.line t "double %s = sin((round + %d.0) / 5.0);" (out_var a 1) h;
+              M2t.line t "double %s = sin((round + %d.0) / 5.0);" (out_var ident a 1) h;
               Sdf.succs sdf a.Sdf.actor_name
               |> List.iter (fun (e : Sdf.edge) ->
                      match fifo_for fifos e with
-                     | Some f -> M2t.line t "fifo_push(&%s, %s);" f.fifo_var (out_var a 1)
+                     | Some f -> M2t.line t "fifo_push(&%s, %s);" f.fifo_var (out_var ident a 1)
                      | None -> ()))
             env_inputs;
           List.iter
@@ -364,7 +393,7 @@ let model_source ~rounds (m : Model.t) sdf fifos order =
                     | None -> "0.0")
                 | [] -> "0.0"
               in
-              M2t.line t "printf(\"%s %%d %%.9f\\n\", round, %s);" (sanitize a.Sdf.actor_name)
+              M2t.line t "printf(\"%s %%d %%.9f\\n\", round, %s);" (ident a.Sdf.actor_name)
                 expr)
             env_outputs);
       M2t.line t "}";
@@ -378,13 +407,16 @@ let generate ?(rounds = 10) (m : Model.t) =
   let order = Exec.firing_order sdf in
   let fifos = build_fifos sdf in
   let sfuncs = collect_sfunctions sdf in
-  let model_c = "#include <math.h>\n" ^ model_source ~rounds m sdf fifos order in
+  (* One namer per namespace, shared by every emitted file, so actor
+     and S-Function identifiers stay collision-free and consistent. *)
+  let ident = make_namer () and sfn = make_namer () in
+  let model_c = "#include <math.h>\n" ^ model_source ~rounds ident sfn m sdf fifos order in
   {
     files =
       [
         ("model.c", model_c);
-        ("sfunctions.h", sfunctions_header sfuncs);
-        ("sfunctions.c", sfunctions_source sfuncs);
+        ("sfunctions.h", sfunctions_header sfn sfuncs);
+        ("sfunctions.c", sfunctions_source sfn sfuncs);
         ("fifo.h", Fifo_runtime.header);
         ("fifo.c", Fifo_runtime.source);
       ];

@@ -21,4 +21,8 @@ val generate : ?rounds:int -> Umlfront_simulink.Model.t -> generated
 val save : ?rounds:int -> Umlfront_simulink.Model.t -> dir:string -> unit
 
 val sanitize : string -> string
-(** Map an arbitrary block path to a C identifier. *)
+(** Map an arbitrary block path to a C identifier.  The mapping alone
+    is lossy (["a.b"] and ["a_b"] both yield ["a_b"]); {!generate}
+    disambiguates colliding identifiers with [_2], [_3], … suffixes
+    per namespace (actors, S-Functions, worker threads), so colliding
+    block paths still produce compilable C. *)

@@ -1,0 +1,408 @@
+module S = Umlfront_simulink.System
+module B = Umlfront_simulink.Block
+module Model = Umlfront_simulink.Model
+module Sdf = Umlfront_dataflow.Sdf
+module Exec = Umlfront_dataflow.Exec
+module Kpn = Umlfront_dataflow.Kpn
+module Gen_threads = Umlfront_codegen.Gen_threads
+module Gen_kpn = Umlfront_codegen.Gen_kpn
+module Pool = Umlfront_parallel.Pool
+module Obs = Umlfront_obs
+
+type backend = Seq | Par | Kpn | C | Kpn_src
+
+let all_backends = [ Seq; Par; Kpn; C; Kpn_src ]
+
+let backend_name = function
+  | Seq -> "seq"
+  | Par -> "par"
+  | Kpn -> "kpn"
+  | C -> "c"
+  | Kpn_src -> "kpn-src"
+
+let backend_of_string = function
+  | "seq" -> Ok Seq
+  | "par" -> Ok Par
+  | "kpn" -> Ok Kpn
+  | "c" -> Ok C
+  | "kpn-src" | "kpn_src" -> Ok Kpn_src
+  | other ->
+      Error
+        (Printf.sprintf "unknown backend %S (expected seq, par, kpn, c or kpn-src)"
+           other)
+
+type disagreement =
+  | Trace of { round : int; port : string; expected : float; actual : float }
+  | Crash of string
+  | Structure of string
+
+type verdict = Agree | Disagree of disagreement | Backend_unavailable of string
+
+type report = {
+  model_name : string;
+  rounds : int;
+  outputs : string list;
+  verdicts : (backend * verdict) list;
+}
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* --- trace diffing -------------------------------------------------- *)
+
+let sample_equal ~tol a b =
+  (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= tol
+
+(* First divergence, scanning round-major then in Outport order, so
+   the reported counterexample is the earliest observable one. *)
+let diff_traces ~tol ~rounds ~outputs ~reference actual =
+  match
+    List.find_opt (fun port -> not (List.mem_assoc port actual)) outputs
+  with
+  | Some port -> Some (Structure (Printf.sprintf "no trace for output port %s" port))
+  | None ->
+      let rec per_round r =
+        if r >= rounds then None
+        else
+          match
+            List.find_map
+              (fun port ->
+                let expected = (List.assoc port reference).(r) in
+                let arr = List.assoc port actual in
+                let actual_v = if r < Array.length arr then arr.(r) else Float.nan in
+                if sample_equal ~tol expected actual_v then None
+                else Some (Trace { round = r; port; expected; actual = actual_v }))
+              outputs
+          with
+          | Some d -> Some d
+          | None -> per_round (r + 1)
+      in
+      per_round 0
+
+(* --- backends ------------------------------------------------------- *)
+
+let seq_traces ~rounds sdf = (Exec.run ~rounds sdf).Exec.traces
+
+let par_traces ?pool ~rounds sdf =
+  match pool with
+  | Some p -> (Exec.run ~pool:p ~rounds sdf).Exec.traces
+  | None ->
+      Pool.with_pool ~domains:2 (fun p -> (Exec.run ~pool:p ~rounds sdf).Exec.traces)
+
+(* The KPN network as emitted by [Kpn.of_sdf], but with every
+   top-level Outport process replaced by a sink that records one
+   sample per round instead of keeping only the last one — that is
+   what makes the process network diffable against the reference. *)
+let kpn_traces ~rounds sdf =
+  let record = List.map (fun port -> (port, Array.make rounds 0.0)) sdf.Sdf.graph_outputs in
+  let collecting_sink (a : Sdf.actor) arr =
+    let ins = Sdf.preds sdf a.Sdf.actor_name in
+    let n = max a.Sdf.actor_inputs 1 in
+    let read_round k =
+      let values = Array.make n 0.0 in
+      let rec loop = function
+        | [] -> k values
+        | (e : Sdf.edge) :: rest ->
+            Kpn.Read
+              ( Kpn.channel_name e,
+                fun v ->
+                  if e.Sdf.edge_dst_port >= 1 && e.Sdf.edge_dst_port <= n then
+                    values.(e.Sdf.edge_dst_port - 1) <- v;
+                  loop rest )
+      in
+      loop ins
+    in
+    let rec go r =
+      if r = rounds then Kpn.Done 0.0
+      else
+        read_round (fun values ->
+            arr.(r) <- (if a.Sdf.actor_inputs > 0 then values.(0) else 0.0);
+            go (r + 1))
+    in
+    go 0
+  in
+  let network =
+    List.map
+      (fun (name, p) ->
+        match List.assoc_opt name record with
+        | Some arr ->
+            let a = Option.get (Sdf.find_actor sdf name) in
+            (name, collecting_sink a arr)
+        | None -> (name, p))
+      (Kpn.of_sdf ~rounds sdf)
+  in
+  ignore (Kpn.run ~fuel:(max 100_000 (1000 * rounds * List.length sdf.Sdf.actors)) network);
+  record
+
+let have_cc () = Sys.command "command -v cc >/dev/null 2>&1" = 0
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let read_process_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let rec loop acc =
+    match input_line ic with line -> loop (line :: acc) | exception End_of_file -> acc
+  in
+  let lines = List.rev (loop []) in
+  ignore (Unix.close_process_in ic);
+  lines
+
+let rm_rf dir =
+  if Sys.file_exists dir then (
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ())
+
+(* Compile the generated multithreaded C with cc, run it and collect
+   its "<port> <round> <value>" stdout back into per-port traces.  The
+   output lines are matched positionally: the generator prints the
+   Outports in [graph_outputs] order every round. *)
+let c_traces ~rounds m sdf =
+  let outputs = sdf.Sdf.graph_outputs in
+  let dir = temp_dir "umlfront_conform_c" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Gen_threads.save ~rounds m ~dir;
+  let bin = Filename.concat dir "model" in
+  let log = Filename.concat dir "cc.log" in
+  let cmd =
+    Printf.sprintf "cc -pthread -o %s %s/model.c %s/sfunctions.c %s/fifo.c -lm >%s 2>&1"
+      (Filename.quote bin) (Filename.quote dir) (Filename.quote dir) (Filename.quote dir)
+      (Filename.quote log)
+  in
+  if Sys.command cmd <> 0 then
+    failwith
+      (Printf.sprintf "cc failed: %s"
+         (try In_channel.with_open_bin log In_channel.input_all with Sys_error _ -> "?"));
+  let lines = read_process_lines (Filename.quote bin ^ " 2>/dev/null") in
+  let expected_lines = rounds * List.length outputs in
+  if List.length lines <> expected_lines then
+    failwith
+      (Printf.sprintf "C program printed %d lines, expected %d" (List.length lines)
+         expected_lines);
+  let traces = List.map (fun port -> (port, Array.make rounds 0.0)) outputs in
+  List.iteri
+    (fun i line ->
+      let round = i / List.length outputs in
+      let port = List.nth outputs (i mod List.length outputs) in
+      match String.split_on_char ' ' line with
+      | [ _label; r; v ] when int_of_string_opt r = Some round ->
+          (List.assoc port traces).(round) <- float_of_string v
+      | _ -> failwith (Printf.sprintf "unparseable C output line %d: %s" (i + 1) line))
+    lines;
+  traces
+
+(* Structural conformance of the emitted model_kpn.ml source: every
+   channel constant is present, every output port is in the printed
+   filter, and the embedded .mdl text round-trips to a flattened graph
+   with the reference's actors and edges. *)
+let kpn_src_verdict ~rounds m sdf =
+  let src = Gen_kpn.generate ~rounds m in
+  let missing_channel =
+    List.find_opt
+      (fun (e : Sdf.edge) -> not (contains_substring src (Kpn.channel_name e)))
+      sdf.Sdf.edges
+  in
+  let missing_output =
+    List.find_opt
+      (fun port -> not (contains_substring src (Printf.sprintf "%S" port)))
+      sdf.Sdf.graph_outputs
+  in
+  match (missing_channel, missing_output) with
+  | Some e, _ ->
+      Disagree
+        (Structure
+           (Printf.sprintf "emitted source misses channel %s" (Kpn.channel_name e)))
+  | None, Some port ->
+      Disagree (Structure (Printf.sprintf "emitted source misses output %s" port))
+  | None, None -> (
+      let embedded =
+        let open_tag = "{mdl|" and close_tag = "|mdl}" in
+        let find_from tag start =
+          let n = String.length tag in
+          let rec at i =
+            if i + n > String.length src then None
+            else if String.sub src i n = tag then Some i
+            else at (i + 1)
+          in
+          at start
+        in
+        match find_from open_tag 0 with
+        | None -> None
+        | Some start ->
+            let body_start = start + String.length open_tag in
+            Option.map
+              (fun stop -> String.sub src body_start (stop - body_start))
+              (find_from close_tag body_start)
+      in
+      match embedded with
+      | None -> Disagree (Structure "emitted source has no embedded {mdl|...|mdl} text")
+      | Some mdl -> (
+          match
+            Sdf.of_model (Umlfront_simulink.Mdl_parser.parse_string mdl)
+          with
+          | exception e ->
+              Disagree
+                (Structure ("embedded model does not flatten: " ^ Printexc.to_string e))
+          | sdf' ->
+              let names (s : Sdf.t) =
+                List.sort compare
+                  (List.map (fun (a : Sdf.actor) -> a.Sdf.actor_name) s.Sdf.actors)
+              in
+              let links (s : Sdf.t) =
+                List.sort compare
+                  (List.map
+                     (fun (e : Sdf.edge) ->
+                       (e.Sdf.edge_src, e.Sdf.edge_src_port, e.Sdf.edge_dst,
+                        e.Sdf.edge_dst_port))
+                     s.Sdf.edges)
+              in
+              if names sdf' <> names sdf then
+                Disagree (Structure "embedded model flattens to different actors")
+              else if links sdf' <> links sdf then
+                Disagree (Structure "embedded model flattens to different edges")
+              else Agree))
+
+(* --- the check ------------------------------------------------------ *)
+
+let tolerance = function
+  | Seq | Par -> 0.0 (* re-run of the same executor: bit-identical *)
+  | Kpn -> 1e-9
+  | C -> 1e-6 (* the C program prints %.9f *)
+  | Kpn_src -> 0.0
+
+let apply_corrupt corrupt backend traces =
+  match corrupt with
+  | Some (b, f) when b = backend ->
+      List.map (fun (port, arr) -> (port, Array.map f arr)) traces
+  | _ -> traces
+
+let check ?(backends = all_backends) ?(rounds = 10) ?pool ?corrupt (m : Model.t) =
+  Obs.Trace.with_span ~cat:"conform" "conform.check"
+    ~args:(fun () ->
+      [
+        ("model", Obs.Json.String m.Model.model_name);
+        ("rounds", Obs.Json.Int rounds);
+      ])
+  @@ fun () ->
+  let sdf = Sdf.of_model m in
+  (* The reference must execute; its exceptions propagate. *)
+  let reference = seq_traces ~rounds sdf in
+  let outputs = sdf.Sdf.graph_outputs in
+  let traced backend produce =
+    match produce () with
+    | traces -> (
+        let traces = apply_corrupt corrupt backend traces in
+        match
+          diff_traces ~tol:(tolerance backend) ~rounds ~outputs ~reference traces
+        with
+        | Some d -> Disagree d
+        | None -> Agree)
+    | exception e -> Disagree (Crash (Printexc.to_string e))
+  in
+  let verdict backend =
+    Obs.Trace.with_span ~cat:"conform" ("conform.backend." ^ backend_name backend)
+    @@ fun () ->
+    match backend with
+    | Seq -> traced Seq (fun () -> seq_traces ~rounds sdf)
+    | Par -> traced Par (fun () -> par_traces ?pool ~rounds sdf)
+    | Kpn -> traced Kpn (fun () -> kpn_traces ~rounds sdf)
+    | C ->
+        if not (have_cc ()) then Backend_unavailable "no C compiler (cc) on PATH"
+        else traced C (fun () -> c_traces ~rounds m sdf)
+    | Kpn_src -> (
+        try kpn_src_verdict ~rounds m sdf
+        with e -> Disagree (Crash (Printexc.to_string e)))
+  in
+  let verdicts = List.map (fun b -> (b, verdict b)) backends in
+  Obs.Metrics.incr "conform.checks";
+  List.iter
+    (fun (_, v) ->
+      Obs.Metrics.incr
+        (match v with
+        | Agree -> "conform.agree"
+        | Disagree _ -> "conform.disagree"
+        | Backend_unavailable _ -> "conform.unavailable"))
+    verdicts;
+  { model_name = m.Model.model_name; rounds; outputs; verdicts }
+
+let disagreements report =
+  List.filter_map
+    (fun (b, v) -> match v with Disagree d -> Some (b, d) | _ -> None)
+    report.verdicts
+
+let agree report = disagreements report = []
+
+(* --- rendering ------------------------------------------------------ *)
+
+let disagreement_text = function
+  | Trace { round; port; expected; actual } ->
+      Printf.sprintf "first divergence at round %d, port %s: reference %.9g, backend %.9g"
+        round port expected actual
+  | Crash msg -> "backend crashed: " ^ msg
+  | Structure msg -> "structural mismatch: " ^ msg
+
+let verdict_text = function
+  | Agree -> "agree"
+  | Disagree d -> "DISAGREE — " ^ disagreement_text d
+  | Backend_unavailable why -> "unavailable (" ^ why ^ ")"
+
+let render report =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "conformance of %s over %d rounds (%d output port%s)\n"
+    report.model_name report.rounds (List.length report.outputs)
+    (if List.length report.outputs = 1 then "" else "s");
+  List.iter
+    (fun (backend, v) ->
+      Printf.bprintf b "  %-8s %s\n" (backend_name backend) (verdict_text v))
+    report.verdicts;
+  Buffer.contents b
+
+let disagreement_json = function
+  | Trace { round; port; expected; actual } ->
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "trace");
+          ("round", Obs.Json.Int round);
+          ("port", Obs.Json.String port);
+          ("expected", Obs.Json.Float expected);
+          ("actual", Obs.Json.Float actual);
+        ]
+  | Crash msg ->
+      Obs.Json.Obj [ ("kind", Obs.Json.String "crash"); ("message", Obs.Json.String msg) ]
+  | Structure msg ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "structure"); ("message", Obs.Json.String msg) ]
+
+let to_json report =
+  Obs.Json.Obj
+    [
+      ("model", Obs.Json.String report.model_name);
+      ("rounds", Obs.Json.Int report.rounds);
+      ("outputs", Obs.Json.List (List.map (fun p -> Obs.Json.String p) report.outputs));
+      ( "verdicts",
+        Obs.Json.Obj
+          (List.map
+             (fun (backend, v) ->
+               ( backend_name backend,
+                 match v with
+                 | Agree -> Obs.Json.Obj [ ("verdict", Obs.Json.String "agree") ]
+                 | Disagree d ->
+                     Obs.Json.Obj
+                       [
+                         ("verdict", Obs.Json.String "disagree");
+                         ("disagreement", disagreement_json d);
+                       ]
+                 | Backend_unavailable why ->
+                     Obs.Json.Obj
+                       [
+                         ("verdict", Obs.Json.String "unavailable");
+                         ("reason", Obs.Json.String why);
+                       ] ))
+             report.verdicts) );
+    ]

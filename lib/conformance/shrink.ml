@@ -1,0 +1,89 @@
+module S = Umlfront_simulink.System
+module Model = Umlfront_simulink.Model
+module Obs = Umlfront_obs
+
+type stats = {
+  initial_blocks : int;
+  final_blocks : int;
+  attempts : int;
+  accepted : int;
+}
+
+type candidate =
+  | Remove_block of string list * string  (** system path, block name *)
+  | Remove_line of string list * S.line
+
+(* Root system first, so whole CPU/thread subsystems are offered for
+   deletion before their contents — the big greedy steps come first.
+   Lines go last: deleting a block already removes its lines. *)
+let candidates (m : Model.t) =
+  let blocks = ref [] and lines = ref [] in
+  S.iter_systems
+    (fun path sys ->
+      List.iter
+        (fun (b : S.block) -> blocks := Remove_block (path, b.S.blk_name) :: !blocks)
+        (S.blocks sys);
+      List.iter (fun l -> lines := Remove_line (path, l) :: !lines) (S.lines sys))
+    m.Model.root;
+  List.rev !blocks @ List.rev !lines
+
+let apply (m : Model.t) candidate =
+  let at path f =
+    S.map_systems (fun p sys -> if p = path then f sys else sys) m.Model.root
+  in
+  let root =
+    match candidate with
+    | Remove_block (path, name) ->
+        at path (fun sys ->
+            {
+              sys with
+              S.sys_blocks =
+                List.filter (fun (b : S.block) -> b.S.blk_name <> name) sys.S.sys_blocks;
+              S.sys_lines =
+                List.filter
+                  (fun (l : S.line) ->
+                    l.S.src.S.block <> name && l.S.dst.S.block <> name)
+                  sys.S.sys_lines;
+            })
+    | Remove_line (path, line) ->
+        at path (fun sys ->
+            { sys with S.sys_lines = List.filter (fun l -> l <> line) sys.S.sys_lines })
+  in
+  { m with Model.root }
+
+let weight (m : Model.t) = S.total_blocks m.Model.root + S.total_lines m.Model.root
+
+let minimize ?(max_attempts = 4000) ~repro (m : Model.t) =
+  Obs.Trace.with_span ~cat:"conform" "conform.shrink" @@ fun () ->
+  let attempts = ref 0 and accepted = ref 0 in
+  let holds m =
+    incr attempts;
+    match repro m with v -> v | exception _ -> false
+  in
+  let rec fixpoint m =
+    let rec first_working = function
+      | [] -> None
+      | c :: rest ->
+          if !attempts >= max_attempts then None
+          else
+            let m' = apply m c in
+            (* Every candidate strictly shrinks the model, so the
+               greedy loop terminates even without the budget. *)
+            if weight m' < weight m && holds m' then Some m' else first_working rest
+    in
+    match first_working (candidates m) with
+    | Some m' ->
+        incr accepted;
+        fixpoint m'
+    | None -> m
+  in
+  let result = fixpoint m in
+  Obs.Metrics.incr "conform.shrink.attempts" ~by:!attempts;
+  Obs.Metrics.incr "conform.shrink.accepted" ~by:!accepted;
+  ( result,
+    {
+      initial_blocks = S.total_blocks m.Model.root;
+      final_blocks = S.total_blocks result.Model.root;
+      attempts = !attempts;
+      accepted = !accepted;
+    } )

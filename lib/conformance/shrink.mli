@@ -1,0 +1,26 @@
+(** Greedy counterexample minimization for conformance failures.
+
+    Given a CAAM on which some backend disagrees with the reference
+    executor, the shrinker repeatedly tries to delete a line, a leaf
+    block (with every line touching it) or a whole subsystem — thread,
+    CPU, anything — keeping each deletion only when the disagreement
+    still reproduces.  Candidates that leave the model unflattenable
+    (or otherwise make [repro] raise) are rejected, so the result is
+    always a model the conformance engine can still execute. *)
+
+type stats = {
+  initial_blocks : int;
+  final_blocks : int;
+  attempts : int;  (** candidate deletions tried (each runs [repro]) *)
+  accepted : int;  (** deletions kept *)
+}
+
+val minimize :
+  ?max_attempts:int ->
+  repro:(Umlfront_simulink.Model.t -> bool) ->
+  Umlfront_simulink.Model.t ->
+  Umlfront_simulink.Model.t * stats
+(** [minimize ~repro m] greedily deletes model elements while [repro]
+    keeps returning [true] (exceptions from [repro] count as [false]).
+    [max_attempts] (default 4000) bounds the total number of [repro]
+    calls.  Instrumented with [conform.shrink.*] metrics. *)

@@ -118,6 +118,28 @@ let load path =
   close_in ic;
   parse_exn content
 
+let print t =
+  let module G = Umlfront_fsm.Guard_expr in
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  Option.iter (fun c -> line "fsm %s" c) t.chart;
+  Option.iter (fun n -> line "rounds %d" n) t.rounds;
+  List.iter (fun (var, v) -> line "init %s = %.12g" var v) t.initial_store;
+  List.iter
+    (fun (w : Cosim.watcher) ->
+      line "watch %s when %s" w.Cosim.watch_event (G.to_string w.Cosim.watch_when))
+    t.watchers;
+  List.iter
+    (fun (s : Cosim.setter) ->
+      line "on %s set %s = %s" s.Cosim.set_action s.Cosim.set_var
+        (G.to_string s.Cosim.set_to))
+    t.setters;
+  List.iter
+    (fun (u : Cosim.update) ->
+      line "update %s = %s" u.Cosim.update_var (G.to_string u.Cosim.update_to))
+    t.updates;
+  Buffer.contents b
+
 let configure controller t =
   {
     Cosim.controller;

@@ -27,4 +27,11 @@ val parse : string -> (t, string) result
 val parse_exn : string -> t
 val load : string -> t
 
+val print : t -> string
+(** Scripts back as script text: [parse (print t)] yields a script
+    equal to [t] up to float formatting (property-tested).  Directive
+    order is normalized ([fsm], [rounds], [init]s, [watch]es, [on]s,
+    [update]s); guard expressions print via
+    {!Umlfront_fsm.Guard_expr.to_string}. *)
+
 val configure : Umlfront_fsm.Fsm.t -> t -> Cosim.config

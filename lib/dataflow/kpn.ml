@@ -66,7 +66,9 @@ let run ?(fuel = 100_000) ?capacity named =
           advance !cell)
         !live
   done;
-  if !live <> [] then raise (Deadlock (List.map fst !live));
+  (* Sorted: the surviving-process order is a scheduling artifact, and
+     the exception is part of error messages and test expectations. *)
+  if !live <> [] then raise (Deadlock (List.sort compare (List.map fst !live)));
   {
     results = List.rev !results;
     channel_residue =

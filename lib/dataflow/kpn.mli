@@ -21,7 +21,8 @@ type outcome = {
 }
 
 exception Deadlock of string list
-(** Names of the processes blocked when no progress was possible. *)
+(** Names of the processes blocked when no progress was possible,
+    sorted — deterministic regardless of scheduling order. *)
 
 exception Out_of_fuel
 

@@ -192,7 +192,10 @@ let arith_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
 let rec to_string = function
   | Num f -> Printf.sprintf "%g" f
   | Var v -> v
-  | Not e -> Printf.sprintf "!(%s)" (to_string e)
+  (* The outer parens keep negation re-parseable in any position: '!'
+     is only legal at the [not] level of the grammar, but a
+     parenthesized expression is a [factor]. *)
+  | Not e -> Printf.sprintf "(!(%s))" (to_string e)
   | And (a, b) -> Printf.sprintf "(%s && %s)" (to_string a) (to_string b)
   | Or (a, b) -> Printf.sprintf "(%s || %s)" (to_string a) (to_string b)
   | Cmp (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) (cmp_symbol op) (to_string b)

@@ -1,0 +1,9 @@
+(* Prints one golden report to stdout; the dune rules in test/dune pipe
+   it into a .gen file and (diff) it against the committed golden, so a
+   drift shows up as a promotable diff: dune promote refreshes it. *)
+let () =
+  match Sys.argv with
+  | [| _; name |] -> print_string (Lint_mutants.render_golden name)
+  | _ ->
+      prerr_endline "usage: golden_gen <golden-file-name>";
+      exit 2

@@ -23,186 +23,15 @@ let check = Alcotest.check
 let test name f = Alcotest.test_case name `Quick f
 let contains = Astring_contains.contains
 
-let crane () = CS.Crane_system.model ()
-let crane_caam () = (Core.Flow.run (crane ())).Core.Flow.caam
+(* The seeded-defect mutation helpers (and the crane accessors) live in
+   the shared lint_mutants library so golden_gen.exe can use them too. *)
+open Lint_mutants
 
 let codes ds = List.sort_uniq String.compare (List.map (fun (d : D.t) -> d.D.code) ds)
 let fires code ds = check Alcotest.bool (code ^ " fires") true (List.mem code (codes ds))
 
 let silent_on name ds =
   check Alcotest.(list string) (name ^ " is lint-clean") [] (codes ds)
-
-(* --- UML-level mutation helpers ------------------------------------ *)
-
-let add_messages uml msgs =
-  {
-    uml with
-    U.Model.sequences = uml.U.Model.sequences @ [ U.Sequence.make "mutant_sd" msgs ];
-  }
-
-(* Declare the operation on the callee class so an injected message
-   only trips the rule under test, not UF001 as well. *)
-let declare_op uml cls_name op =
-  {
-    uml with
-    U.Model.classes =
-      List.map
-        (fun (c : U.Classifier.cls) ->
-          if String.equal c.U.Classifier.cls_name cls_name then
-            { c with U.Classifier.cls_operations = c.U.Classifier.cls_operations @ [ op ] }
-          else c)
-        uml.U.Model.classes;
-  }
-
-let map_deployments uml f =
-  { uml with U.Model.deployments = List.map f uml.U.Model.deployments }
-
-let farg = U.Sequence.arg "v" U.Datatype.D_float
-
-let op_with_input name =
-  U.Operation.make ~params:[ U.Operation.param "v" U.Datatype.D_float ] name
-
-let op_with_return name =
-  U.Operation.make
-    ~params:[ U.Operation.param ~dir:U.Operation.Return "r" U.Datatype.D_float ]
-    name
-
-(* One mutant per UML rule. *)
-let mut_undeclared_operation uml =
-  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"sensorProc" "bogus" ]
-
-let mut_unknown_callee uml =
-  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"ghostObj" "poke" ]
-
-let mut_unconsumed_set uml =
-  let uml = declare_op uml "Tactuator_cls" (op_with_input "SetOrphan") in
-  add_messages uml
-    [
-      U.Sequence.message ~from:"Tcontrol" ~target:"Tactuator" "SetOrphan"
-        ~args:[ U.Sequence.arg "orphan" U.Datatype.D_float ];
-    ]
-
-let mut_unproduced_get uml =
-  let uml = declare_op uml "Tsensor_cls" (op_with_return "GetGhost") in
-  add_messages uml
-    [
-      U.Sequence.message ~from:"Tactuator" ~target:"Tsensor" "GetGhost"
-        ~result:(U.Sequence.arg "ghost" U.Datatype.D_float);
-    ]
-
-let mut_io_misuse uml =
-  let uml = declare_op uml "IODevice_cls" (op_with_input "pokeDevice") in
-  add_messages uml
-    [ U.Sequence.message ~from:"Tactuator" ~target:"IODevice" "pokeDevice" ~args:[ farg ] ]
-
-let mut_undeployed_thread uml =
-  map_deployments uml (fun dep ->
-      {
-        dep with
-        U.Deployment.dep_allocation =
-          List.filter
-            (fun (t, _) -> not (String.equal t "Tactuator"))
-            dep.U.Deployment.dep_allocation;
-      })
-
-let mut_node_without_saengine uml =
-  map_deployments uml (fun dep ->
-      {
-        dep with
-        U.Deployment.dep_nodes =
-          List.map
-            (fun (n : U.Deployment.node) -> { n with U.Deployment.node_stereotypes = [] })
-            dep.U.Deployment.dep_nodes;
-      })
-
-(* The only UML defects that survive the synthesizer (Mapping rejects
-   anything Validate flags) are the ones Validate does not police:
-   a node missing its <<SAengine>> stereotype and an IO read whose
-   result the mapping silently drops.  The gate and CLI tests use
-   these two. *)
-let mut_io_read_no_result uml =
-  let uml = declare_op uml "IODevice_cls" (U.Operation.make "getDangling") in
-  add_messages uml [ U.Sequence.message ~from:"Tsensor" ~target:"IODevice" "getDangling" ]
-
-(* --- CAAM-level mutation helpers ----------------------------------- *)
-
-let with_root (m : Model.t) root = { m with Model.root }
-
-let map_system_at (m : Model.t) path f =
-  with_root m (S.map_systems (fun p sys -> if p = path then f sys else sys) m.Model.root)
-
-let first_channel (m : Model.t) =
-  match Caam.channels m with
-  | ch :: _ -> ch
-  | [] -> Alcotest.fail "model has no channels"
-
-let mut_dangle_port m =
-  let cpu = List.hd (Caam.cpus m) in
-  map_system_at m [ cpu.S.blk_name ] (fun sys ->
-      match S.lines sys with
-      | l :: _ -> S.remove_line sys ~src:l.S.src ~dst:l.S.dst
-      | [] -> Alcotest.fail "CPU-SS has no lines")
-
-let mut_unconnected_sink m = with_root m (S.add_block m.Model.root B.Terminator "mut_sink")
-let mut_unconnected_source m = with_root m (S.add_block m.Model.root B.Constant "mut_src")
-
-let mut_duplicate_name m =
-  let cpu = List.hd (Caam.cpus m) in
-  map_system_at m [ cpu.S.blk_name ] (fun sys ->
-      { sys with S.sys_blocks = sys.S.sys_blocks @ [ List.hd sys.S.sys_blocks ] })
-
-let mut_flip_protocol m =
-  let path, ch = first_channel m in
-  map_system_at m path (fun sys ->
-      S.set_param sys ch.S.blk_name Caam.protocol_param (B.P_string "GFIFO"))
-
-let mut_strip_cpu_role m =
-  let cpu = List.hd (Caam.cpus m) in
-  with_root m (S.set_param m.Model.root cpu.S.blk_name Caam.role_param (B.P_string "none"))
-
-let mut_channel_fanout m =
-  let path, ch = first_channel m in
-  map_system_at m path (fun sys ->
-      let sys = S.add_block sys B.Terminator "mut_tap" in
-      S.add_line sys
-        ~src:{ S.block = ch.S.blk_name; port = 1 }
-        ~dst:{ S.block = "mut_tap"; port = 1 })
-
-(* The issue's "drop a UnitDelay": turn every temporal barrier into a
-   plain Gain (same port shape, no state) so the feedback loop becomes
-   a zero-delay cycle again. *)
-let mut_drop_unit_delay m =
-  with_root m
-    (S.map_systems
-       (fun _ sys ->
-         List.fold_left
-           (fun sys (b : S.block) ->
-             if b.S.blk_type = B.Unit_delay then
-               S.replace_block sys { b with S.blk_type = B.Gain }
-             else sys)
-           sys (S.blocks sys))
-       m.Model.root)
-
-(* Re-number one nested Inport so its subsystem's boundary port has no
-   matching block: the model keeps its structure but no longer flattens
-   to a dataflow graph (UF190). *)
-let mut_unflattenable m =
-  let mutated = ref false in
-  with_root m
-    (S.map_systems
-       (fun path sys ->
-         if !mutated || path = [] then sys
-         else
-           match S.blocks_of_type sys B.Inport with
-           | b :: _ ->
-               mutated := true;
-               S.set_param sys b.S.blk_name "Port" (B.P_int 99)
-           | [] -> sys)
-       m.Model.root)
-
-let mut_zero_capacity m =
-  let path, ch = first_channel m in
-  map_system_at m path (fun sys -> S.set_param sys ch.S.blk_name "Capacity" (B.P_int 0))
 
 (* --- rule-by-rule: mutant fires, original stays silent -------------- *)
 
@@ -390,44 +219,50 @@ let metrics_tests =
         check Alcotest.bool "lint.runs counted" true (counter_value "lint.runs" > runs_before));
   ]
 
-(* --- golden files: report rendering pinned byte-for-byte ------------ *)
+(* --- golden files: promoted via dune (action (diff ...)) ------------ *)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
-let golden name content =
-  check Alcotest.string name (read_file (Filename.concat "golden" name)) content
-
-(* A deterministic multi-defect mutant exercising every report shape:
-   errors, warnings, hints, and both renderers. *)
-let defect_report () =
-  let uml = mut_undeployed_thread (crane ()) in
-  let caam = mut_unconnected_sink (mut_zero_capacity (mut_flip_protocol (crane_caam ()))) in
-  A.Lint.check ~uml caam
-
+(* The byte-for-byte pinning itself moved to dune rules: test/dune
+   regenerates every report with golden_gen.exe and (diff)s it against
+   test/golden/, so an accepted format change is a `dune promote`, not
+   a hand edit.  What stays here: the generator must know exactly the
+   files dune pins (no orphaned goldens), and a stale golden must
+   actually differ from fresh output so the diff has teeth. *)
 let golden_tests =
-  let clean_case name model =
-    [
-      test (name ^ " lint text report matches golden") (fun () ->
-          let uml = model () in
-          let ds = A.Lint.check ~uml (Core.Flow.run uml).Core.Flow.caam in
-          golden (name ^ ".lint.txt") (D.render ds));
-      test (name ^ " lint JSON report matches golden") (fun () ->
-          let uml = model () in
-          let ds = A.Lint.check ~uml (Core.Flow.run uml).Core.Flow.caam in
-          golden (name ^ ".lint.json")
-            (Obs.Json.to_string (D.list_to_json ~file:name ds) ^ "\n"));
-    ]
-  in
-  clean_case "crane" CS.Crane_system.model
-  @ clean_case "synthetic" CS.Synthetic_system.model
-  @ [
-      test "seeded-defect text report matches golden" (fun () ->
-          golden "crane_defects.lint.txt" (D.render (defect_report ())));
-      test "seeded-defect JSON report matches golden" (fun () ->
-          golden "crane_defects.lint.json"
-            (Obs.Json.to_string (D.list_to_json ~file:"crane_defects" (defect_report ()))
-            ^ "\n"));
-    ]
+  [
+    test "every committed golden file has a generator (and vice versa)" (fun () ->
+        let committed =
+          Sys.readdir "golden" |> Array.to_list |> List.sort String.compare
+        in
+        check
+          Alcotest.(list string)
+          "golden_gen covers golden/"
+          (List.sort String.compare Lint_mutants.golden_names)
+          committed);
+    test "golden reports are deterministic" (fun () ->
+        List.iter
+          (fun name ->
+            check Alcotest.string name
+              (Lint_mutants.render_golden name)
+              (Lint_mutants.render_golden name))
+          Lint_mutants.golden_names);
+    test "a stale golden fails the comparison" (fun () ->
+        (* Simulate drift: a tampered copy of each committed golden must
+           differ from the freshly rendered report, which is precisely
+           what makes the dune diff rules fail on staleness. *)
+        List.iter
+          (fun name ->
+            let fresh = Lint_mutants.render_golden name in
+            let committed = read_file (Filename.concat "golden" name) in
+            check Alcotest.string (name ^ " is current") committed fresh;
+            let tampered = committed ^ "tampered\n" in
+            check Alcotest.bool
+              (name ^ " tampering detected")
+              false
+              (String.equal fresh tampered))
+          Lint_mutants.golden_names);
+  ]
 
 (* --- the CLI: lint/stats flag handling and exit codes ---------------- *)
 

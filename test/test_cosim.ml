@@ -206,6 +206,105 @@ let script_tests =
         match Script.parse "\n# only a comment\n\n" with
         | Ok s -> check Alcotest.int "empty" 0 (List.length s.Script.watchers)
         | Error msg -> Alcotest.fail msg);
+    test "print of a parsed script re-parses identically" (fun () ->
+        let s = Script.parse_exn script_text in
+        match Script.parse (Script.print s) with
+        | Ok s' -> check Alcotest.string "fixpoint" (Script.print s) (Script.print s')
+        | Error msg -> Alcotest.fail msg);
+    test "errors name the offending line in a long script" (fun () ->
+        List.iter
+          (fun (script, expected) ->
+            match Script.parse script with
+            | Error msg ->
+                check Alcotest.bool
+                  (Printf.sprintf "%S in %S" expected msg)
+                  true
+                  (Astring_contains.contains msg expected)
+            | Ok _ -> Alcotest.fail "expected error")
+          [
+            ("fsm ok\nrounds 5\nwatch broken\ninit x = 1", "line 3");
+            ("fsm ok\nrounds nope", "line 2");
+            ("init x = forty-two", "line 1");
+            ("fsm ok\n\n# fine\non oops missing", "line 4");
+            ("update x = ((1 + ", "line 1");
+          ]);
+  ]
+
+(* --- property tests: Script.print / Script.parse round-trip ---------- *)
+
+module G = Umlfront_fsm.Guard_expr
+
+(* Identifiers from a fixed pool: anything the line-oriented grammar
+   treats as a bare word (no spaces, no '#', not a directive keyword). *)
+let ident_gen = QCheck.Gen.oneofl [ "heat"; "temp"; "clock"; "mode"; "press_2"; "x" ]
+
+(* Integer-valued Num literals so the %.12g / %g printers reproduce the
+   parsed float exactly; non-negative because the guard grammar has no
+   unary minus. *)
+let expr_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 5) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun i -> G.Num (float_of_int i)) (int_bound 99);
+              map (fun v -> G.Var v) ident_gen;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              leaf;
+              map (fun e -> G.Not e) sub;
+              map2 (fun a b -> G.And (a, b)) sub sub;
+              map2 (fun a b -> G.Or (a, b)) sub sub;
+              map3
+                (fun op a b -> G.Cmp (op, a, b))
+                (oneofl [ G.Eq; G.Ne; G.Lt; G.Le; G.Gt; G.Ge ])
+                sub sub;
+              map3
+                (fun op a b -> G.Arith (op, a, b))
+                (oneofl [ G.Add; G.Sub; G.Mul; G.Div ])
+                sub sub;
+            ]))
+
+let script_gen =
+  QCheck.Gen.(
+    let watcher =
+      map2 (fun e w -> { Cosim.watch_event = e; watch_when = w }) ident_gen expr_gen
+    in
+    let setter =
+      map3
+        (fun a v e -> { Cosim.set_action = a; set_var = v; set_to = e })
+        ident_gen ident_gen expr_gen
+    in
+    let update =
+      map2 (fun v e -> { Cosim.update_var = v; update_to = e }) ident_gen expr_gen
+    in
+    let init = map2 (fun v i -> (v, float_of_int i)) ident_gen (int_bound 999) in
+    map2
+      (fun (chart, rounds, initial_store) (watchers, setters, updates) ->
+        { Script.chart; rounds; watchers; setters; updates; initial_store })
+      (triple (opt ident_gen) (opt (int_range 1 500)) (small_list init))
+      (triple (small_list watcher) (small_list setter) (small_list update)))
+
+let script_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"print/parse round-trips structurally" ~count:300
+         (QCheck.make ~print:Script.print script_gen)
+         (fun s ->
+           match Script.parse (Script.print s) with
+           | Ok s' -> s' = s
+           | Error msg -> QCheck.Test.fail_report msg));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"print is a fixpoint" ~count:300
+         (QCheck.make ~print:Script.print script_gen)
+         (fun s ->
+           let printed = Script.print s in
+           String.equal printed (Script.print (Script.parse_exn printed))));
   ]
 
 let suite =
@@ -213,4 +312,5 @@ let suite =
     ("cosim:session", session_tests);
     ("cosim:loop", cosim_tests);
     ("cosim:script", script_tests);
+    ("cosim:script-properties", script_property_tests);
   ]

@@ -351,6 +351,17 @@ let kpn_tests =
         | exception Kpn.Deadlock [ "starved" ] -> ()
         | exception Kpn.Deadlock _ -> Alcotest.fail "wrong processes"
         | _ -> Alcotest.fail "expected Deadlock");
+    test "deadlock victims reported in sorted order" (fun () ->
+        (* Three starved consumers, registered in reverse-alphabetical
+           order: the blocked-process list must come back sorted, not in
+           registration (or scheduling) order. *)
+        let starving name = (name, Kpn.consumer ~inp:("never_" ^ name) ~n:1) in
+        match Kpn.run [ starving "zeta"; starving "mid"; starving "alpha" ] with
+        | exception Kpn.Deadlock victims ->
+            check
+              Alcotest.(list string)
+              "sorted" [ "alpha"; "mid"; "zeta" ] victims
+        | _ -> Alcotest.fail "expected Deadlock");
     test "bounded channels block writers (artificial deadlock)" (fun () ->
         (* With capacity 1 the producer cannot place its second token
            and nobody ever drains the channel. *)
