@@ -16,11 +16,14 @@
      umlfront lint model.xml [more.xml...]   static analysis: UML, CAAM and SDF rules
      umlfront conform model.xml              diff every backend against the reference
      umlfront fuzz --seed 42 --count 50      conformance-fuzz random models
+     umlfront journal model.xml              replay the run journal as JSON Lines
+     umlfront bench-diff BASE NEW            perf regression gate over BENCH_*.json
 
    Any subcommand accepts a global `--profile FILE.json`: the run is
    traced (spans per flow phase, parser/executor metrics) and a Chrome
    trace-event file loadable in chrome://tracing or Perfetto is written
-   on exit.
+   on exit.  A global `--journal FILE.jsonl` likewise dumps the bounded
+   run journal (phase starts, executor rounds, deadlocks) on exit.
 
    The input is the XMI-style XML of Umlfront_uml.Xmi. *)
 
@@ -284,7 +287,8 @@ let allocate_cmd =
         $ uml_arg $ dot_arg))
 
 let simulate_cmd =
-  let action path strategy cpus rounds csv gantt jobs =
+  let action path strategy cpus rounds csv gantt jobs token_json token_dot =
+    if token_json <> None || token_dot <> None then Obs.Telemetry.enable ();
     let output = run_flow path strategy cpus in
     let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
     let outcome = with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf) in
@@ -297,6 +301,17 @@ let simulate_cmd =
           print_newline ())
         outcome.Dataflow.Exec.traces;
     if gantt then print_string (Dataflow.Trace_export.gantt sdf);
+    let write_to file text =
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "tokens: wrote %s\n%!" file
+    in
+    Option.iter
+      (fun file ->
+        write_to file (Obs.Json.to_string (Obs.Telemetry.to_json ()) ^ "\n"))
+      token_json;
+    Option.iter (fun file -> write_to file (Obs.Telemetry.flow_dot ())) token_dot;
     if not csv then
       Format.printf "%a@." Dataflow.Timing.pp_report (Dataflow.Timing.evaluate sdf)
   in
@@ -306,14 +321,29 @@ let simulate_cmd =
   let gantt_arg =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of one iteration.")
   in
+  let token_json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tokens" ] ~docv:"FILE"
+          ~doc:
+            "Trace every token causally and write channel statistics, occupancy \
+             timelines and Chrome-trace flow events as JSON to $(docv).")
+  in
+  let token_dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "token-dot" ] ~docv:"FILE"
+          ~doc:"Write the causal token-flow graph (Graphviz) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Map and execute the CAAM on the SDF simulator")
     Term.(
       term_result'
-        (const (fun path strategy cpus rounds csv gantt jobs ->
-             protect (fun () -> action path strategy cpus rounds csv gantt jobs))
+        (const (fun path strategy cpus rounds csv gantt jobs token_json token_dot ->
+             protect (fun () ->
+                 action path strategy cpus rounds csv gantt jobs token_json token_dot))
         $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg
-        $ jobs_arg))
+        $ jobs_arg $ token_json_arg $ token_dot_arg))
 
 let codegen_cmd =
   let action path strategy cpus rounds dir lang =
@@ -469,7 +499,7 @@ let report_cmd =
         $ uml_arg $ strategy_arg $ cpus_arg))
 
 let stats_cmd =
-  let action path strategy cpus rounds jobs =
+  let action path strategy cpus rounds jobs format metrics_out =
     (* Enable the span sink so per-round latency histograms populate;
        keep whatever a surrounding --profile already set up. *)
     if not (Obs.Trace.enabled ()) then Obs.Trace.enable ();
@@ -481,18 +511,160 @@ let stats_cmd =
     ignore (Umlfront_simulink.Mdl_parser.parse_string output.Core.Flow.mdl);
     let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
     ignore (with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf));
-    print_string (Core.Report.metrics_table ())
+    let snapshot = Obs.Metrics.snapshot () in
+    let rendered =
+      match format with
+      | `Text -> Core.Report.metrics_table ~snapshot ()
+      | `Json -> Obs.Json.to_string (Obs.Metrics.to_json snapshot) ^ "\n"
+      | `Openmetrics -> Obs.Openmetrics.render snapshot
+    in
+    print_string rendered;
+    match metrics_out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc rendered;
+        close_out oc;
+        Printf.eprintf "stats: wrote %s\n%!" file
+    | None -> ()
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ])
+          `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Registry format: text (table), json, or openmetrics \
+             (Prometheus/OpenMetrics text exposition).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Also write the rendered registry to $(docv) (for scraping or CI artifacts).")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run the flow (map + reparse + simulate) under instrumentation and print \
-          the metrics registry")
+          the metrics registry (text, JSON or OpenMetrics)")
     Term.(
       term_result'
-        (const (fun path strategy cpus rounds jobs ->
-             protect (fun () -> action path strategy cpus rounds jobs))
-        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg))
+        (const (fun path strategy cpus rounds jobs format metrics_out ->
+             protect (fun () -> action path strategy cpus rounds jobs format metrics_out))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg $ format_arg
+        $ metrics_out_arg))
+
+let journal_cmd =
+  let action path strategy cpus rounds jobs kind limit tokens out =
+    if tokens then Obs.Telemetry.enable ();
+    let output = run_flow path strategy cpus in
+    let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
+    ignore (with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf));
+    let es = Obs.Journal.entries () in
+    let es = match kind with Some k -> Obs.Journal.filter ~kind:k es | None -> es in
+    let es =
+      match limit with
+      | Some n when n >= 0 ->
+          (* Keep the newest [n]: the end of a run is the end you read. *)
+          let drop = max 0 (List.length es - n) in
+          List.filteri (fun i _ -> i >= drop) es
+      | _ -> es
+    in
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Journal.to_jsonl es);
+        close_out oc;
+        Printf.printf "wrote %s (%d entries)\n" file (List.length es)
+    | None -> print_string (Obs.Journal.to_jsonl es));
+    let dropped = Obs.Journal.dropped () in
+    if dropped > 0 then
+      Printf.eprintf "journal: ring wrapped, %d oldest entries dropped\n%!" dropped
+  in
+  let kind_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Only entries of $(docv) (exact, or a dotted prefix: \
+             $(b,flow) matches $(b,flow.validate), ...).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Only the newest $(docv) entries.")
+  in
+  let tokens_arg =
+    Arg.(
+      value & flag
+      & info [ "tokens" ]
+          ~doc:
+            "Also enable causal token tracing, so per-channel high-water marks \
+             land in the journal.")
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Run the flow and the SDF executor, then replay the bounded run journal \
+          (phase starts, executor rounds, channel high-water marks, deadlocks) as \
+          JSON Lines")
+    Term.(
+      term_result'
+        (const (fun path strategy cpus rounds jobs kind limit tokens out ->
+             protect (fun () ->
+                 action path strategy cpus rounds jobs kind limit tokens out))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg $ kind_arg
+        $ limit_arg $ tokens_arg $ out_arg))
+
+let bench_diff_cmd =
+  let action base current tolerance =
+    let parse p =
+      let text = In_channel.with_open_bin p In_channel.input_all in
+      match Obs.Json.parse text with
+      | Ok v -> v
+      | Error e -> failwith (Printf.sprintf "%s: %s" p e)
+    in
+    match
+      Obs.Bench_diff.compare_docs ~tolerance ~base:(parse base)
+        ~current:(parse current) ()
+    with
+    | Error e -> failwith e
+    | Ok findings ->
+        Printf.printf "bench-diff %s vs %s\n" base current;
+        print_string (Obs.Bench_diff.render ~tolerance findings);
+        if Obs.Bench_diff.regressions findings <> [] then exit 1
+  in
+  let base_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"BASE.json" ~doc:"Baseline BENCH_*.json (committed).")
+  in
+  let current_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Freshly measured BENCH_*.json.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float Obs.Bench_diff.default_tolerance
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed movement in the bad direction, percent; beyond it the \
+             metric is a regression and the exit code is 1.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench result files (BENCH_obs.json or BENCH_parallel.json \
+          schema) and exit non-zero when a throughput metric regressed beyond \
+          the tolerance")
+    Term.(
+      term_result'
+        (const (fun base current tolerance ->
+             protect (fun () -> action base current tolerance))
+        $ base_arg $ current_arg $ tolerance_arg))
 
 let lint_cmd =
   let module A = Umlfront_analysis in
@@ -724,28 +896,30 @@ let () =
   let args =
     List.filter (fun a -> a <> "-v" && a <> "--verbose") (Array.to_list Sys.argv)
   in
-  (* Global --profile FILE.json: trace the whole invocation, dump a
-     Chrome trace-event file (plus metrics snapshot) on exit. *)
-  let args, profile =
-    let prefix = "--profile=" in
-    let rec strip acc profile = function
-      | [] -> (List.rev acc, profile)
-      | [ "--profile" ] ->
-          (* Match Cmdliner's own error shape (message + help pointer,
-             exit 124) so global and per-command flag errors read the
-             same. *)
-          prerr_endline "umlfront: option '--profile' needs an argument";
+  (* Global --profile FILE.json / --journal FILE.jsonl: strip the flag
+     anywhere on the command line, arm an at_exit dump.  [strip_global]
+     handles both the split ("--flag FILE") and joined ("--flag=FILE")
+     spellings, matching Cmdliner's own error shape (message + help
+     pointer, exit 124) when the argument is missing. *)
+  let strip_global flag args =
+    let prefix = flag ^ "=" in
+    let rec strip acc value = function
+      | [] -> (List.rev acc, value)
+      | [ f ] when String.equal f flag ->
+          Printf.eprintf "umlfront: option '%s' needs an argument\n" flag;
           prerr_endline "Try 'umlfront --help' for more information.";
           exit 124
-      | "--profile" :: file :: rest -> strip acc (Some file) rest
+      | f :: file :: rest when String.equal f flag -> strip acc (Some file) rest
       | arg :: rest when String.starts_with ~prefix arg ->
           strip acc
             (Some (String.sub arg (String.length prefix) (String.length arg - String.length prefix)))
             rest
-      | arg :: rest -> strip (arg :: acc) profile rest
+      | arg :: rest -> strip (arg :: acc) value rest
     in
     strip [] None args
   in
+  let args, profile = strip_global "--profile" args in
+  let args, journal = strip_global "--journal" args in
   Option.iter
     (fun file ->
       Obs.Trace.enable ();
@@ -756,6 +930,15 @@ let () =
               (List.length (Obs.Trace.events ()))
           with Sys_error m -> Printf.eprintf "profile: cannot write trace: %s\n%!" m))
     profile;
+  Option.iter
+    (fun file ->
+      at_exit (fun () ->
+          try
+            Obs.Journal.write file;
+            Printf.eprintf "journal: wrote %s (%d entries)\n%!" file
+              (List.length (Obs.Journal.entries ()))
+          with Sys_error m -> Printf.eprintf "journal: cannot write: %s\n%!" m))
+    journal;
   let argv = Array.of_list args in
   let info =
     Cmd.info "umlfront" ~version:"1.0.0"
@@ -767,5 +950,6 @@ let () =
           [
             map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
             partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
-            plantuml_cmd; report_cmd; stats_cmd; lint_cmd; conform_cmd; fuzz_cmd;
+            plantuml_cmd; report_cmd; stats_cmd; journal_cmd; bench_diff_cmd;
+            lint_cmd; conform_cmd; fuzz_cmd;
           ]))

@@ -31,8 +31,26 @@ let backend_of_string = function
         (Printf.sprintf "unknown backend %S (expected seq, par, kpn, c or kpn-src)"
            other)
 
+(* Where the first divergent token came from: the block that produced
+   it, on which firing, over which channel.  Computed from the SDF
+   graph (the pred edge of the divergent Outport), so it is available
+   even for backends that run out of process — the same identity the
+   runtime token tracer (Umlfront_obs.Telemetry) records. *)
+type token_provenance = {
+  prov_block : string;
+  prov_firing : int; (* 1-based firing index of the producer *)
+  prov_channel : string; (* canonical "src/p->dst/q" *)
+  prov_protocols : string list;
+}
+
 type disagreement =
-  | Trace of { round : int; port : string; expected : float; actual : float }
+  | Trace of {
+      round : int;
+      port : string;
+      expected : float;
+      actual : float;
+      provenance : token_provenance option;
+    }
   | Crash of string
   | Structure of string
 
@@ -55,9 +73,27 @@ let contains_substring haystack needle =
 let sample_equal ~tol a b =
   (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= tol
 
+(* The token behind output [port]'s sample in [round]: in an SDF round
+   each edge carries exactly one token, so it is the (round+1)-th token
+   the Outport's producer pushed over its incoming edge. *)
+let port_provenance sdf port round =
+  match Sdf.preds sdf port with
+  | (e : Sdf.edge) :: _ ->
+      Some
+        {
+          prov_block = e.Sdf.edge_src;
+          prov_firing = round + 1;
+          prov_channel = Sdf.channel_name e;
+          prov_protocols = Sdf.edge_protocols e;
+        }
+  | [] -> None
+
 (* First divergence, scanning round-major then in Outport order, so
-   the reported counterexample is the earliest observable one. *)
-let diff_traces ~tol ~rounds ~outputs ~reference actual =
+   the reported counterexample is the earliest observable one.
+   [provenance] resolves (port, round) to the divergent token's origin
+   when the caller has a graph to resolve against. *)
+let diff_traces ?(provenance = fun _ _ -> None) ~tol ~rounds ~outputs ~reference
+    actual =
   match
     List.find_opt (fun port -> not (List.mem_assoc port actual)) outputs
   with
@@ -73,7 +109,16 @@ let diff_traces ~tol ~rounds ~outputs ~reference actual =
                 let arr = List.assoc port actual in
                 let actual_v = if r < Array.length arr then arr.(r) else Float.nan in
                 if sample_equal ~tol expected actual_v then None
-                else Some (Trace { round = r; port; expected; actual = actual_v }))
+                else
+                  Some
+                    (Trace
+                       {
+                         round = r;
+                         port;
+                         expected;
+                         actual = actual_v;
+                         provenance = provenance port r;
+                       }))
               outputs
           with
           | Some d -> Some d
@@ -299,7 +344,9 @@ let check ?(backends = all_backends) ?(rounds = 10) ?pool ?corrupt (m : Model.t)
     | traces -> (
         let traces = apply_corrupt corrupt backend traces in
         match
-          diff_traces ~tol:(tolerance backend) ~rounds ~outputs ~reference traces
+          diff_traces
+            ~provenance:(port_provenance sdf)
+            ~tol:(tolerance backend) ~rounds ~outputs ~reference traces
         with
         | Some d -> Disagree d
         | None -> Agree)
@@ -340,10 +387,20 @@ let agree report = disagreements report = []
 
 (* --- rendering ------------------------------------------------------ *)
 
+let provenance_text p =
+  Printf.sprintf "token from block %s, firing %d, channel %s%s" p.prov_block
+    p.prov_firing p.prov_channel
+    (match p.prov_protocols with
+    | [] -> ""
+    | l -> " [" ^ String.concat "," l ^ "]")
+
 let disagreement_text = function
-  | Trace { round; port; expected; actual } ->
-      Printf.sprintf "first divergence at round %d, port %s: reference %.9g, backend %.9g"
+  | Trace { round; port; expected; actual; provenance } ->
+      Printf.sprintf "first divergence at round %d, port %s: reference %.9g, backend %.9g%s"
         round port expected actual
+        (match provenance with
+        | Some p -> "; " ^ provenance_text p
+        | None -> "")
   | Crash msg -> "backend crashed: " ^ msg
   | Structure msg -> "structural mismatch: " ^ msg
 
@@ -363,16 +420,30 @@ let render report =
     report.verdicts;
   Buffer.contents b
 
+let provenance_json p =
+  Obs.Json.Obj
+    [
+      ("block", Obs.Json.String p.prov_block);
+      ("firing", Obs.Json.Int p.prov_firing);
+      ("channel", Obs.Json.String p.prov_channel);
+      ( "protocols",
+        Obs.Json.List (List.map (fun s -> Obs.Json.String s) p.prov_protocols) );
+    ]
+
 let disagreement_json = function
-  | Trace { round; port; expected; actual } ->
+  | Trace { round; port; expected; actual; provenance } ->
       Obs.Json.Obj
-        [
-          ("kind", Obs.Json.String "trace");
-          ("round", Obs.Json.Int round);
-          ("port", Obs.Json.String port);
-          ("expected", Obs.Json.Float expected);
-          ("actual", Obs.Json.Float actual);
-        ]
+        ([
+           ("kind", Obs.Json.String "trace");
+           ("round", Obs.Json.Int round);
+           ("port", Obs.Json.String port);
+           ("expected", Obs.Json.Float expected);
+           ("actual", Obs.Json.Float actual);
+         ]
+        @
+        match provenance with
+        | Some p -> [ ("provenance", provenance_json p) ]
+        | None -> [])
   | Crash msg ->
       Obs.Json.Obj [ ("kind", Obs.Json.String "crash"); ("message", Obs.Json.String msg) ]
   | Structure msg ->

@@ -30,11 +30,28 @@ val backend_name : backend -> string
 val backend_of_string : string -> (backend, string) result
 (** Accepts [seq], [par], [kpn], [c] and [kpn-src]. *)
 
+type token_provenance = {
+  prov_block : string;  (** block that produced the divergent token *)
+  prov_firing : int;  (** its 1-based firing index (= round + 1) *)
+  prov_channel : string;  (** canonical ["src/p->dst/q"] channel *)
+  prov_protocols : string list;  (** protocols the channel crosses *)
+}
+(** Causal identity of the first divergent token, resolved against the
+    SDF graph — the same identity {!Umlfront_obs.Telemetry} stamps on
+    tokens at runtime. *)
+
 (** Why a backend disagreed with the reference. *)
 type disagreement =
-  | Trace of { round : int; port : string; expected : float; actual : float }
+  | Trace of {
+      round : int;
+      port : string;
+      expected : float;
+      actual : float;
+      provenance : token_provenance option;
+    }
       (** First divergent sample: [expected] is the reference
-          executor's value, [actual] the backend's. *)
+          executor's value, [actual] the backend's; [provenance] names
+          the token's producing block, firing and channel. *)
   | Crash of string  (** The backend raised (deadlock, parse error, …). *)
   | Structure of string
       (** A structural check failed (source-level backends). *)

@@ -36,8 +36,12 @@ let choose_allocation strategy uml =
 
 (* Each phase of §4.1–4.2.3 runs under its own span so a profile of a
    large model shows where the time goes; the span args are thunks and
-   cost nothing when the sink is off. *)
-let phase name ?args f = Obs.Trace.with_span ~cat:"flow" ("flow." ^ name) ?args f
+   cost nothing when the sink is off.  Phase starts also land in the
+   always-on run journal, so `umlfront journal` can replay the phase
+   sequence of a run that never enabled profiling. *)
+let phase name ?args f =
+  Obs.Journal.record ("flow." ^ name);
+  Obs.Trace.with_span ~cat:"flow" ("flow." ^ name) ?args f
 
 (* The optional gate phase: lint the source and the synthesized CAAM,
    surface every finding as a structured event, fail the run on what

@@ -17,7 +17,11 @@ let firing_order sdf =
   let g = Sdf.to_taskgraph sdf in
   match Algo.topological_sort g with
   | order -> order
-  | exception Algo.Cycle cycle -> raise (Deadlock cycle)
+  | exception Algo.Cycle cycle ->
+      Obs.Journal.record "exec.deadlock"
+        ~fields:
+          [ ("victims", Obs.Json.List (List.map (fun v -> Obs.Json.String v) cycle)) ];
+      raise (Deadlock cycle)
 
 (* Dependency levels over the delay-cut dependence graph: an actor's
    level is 1 + the max level of its non-UnitDelay predecessors.  Two
@@ -182,10 +186,33 @@ let input_values t (a : Sdf.actor) =
     (Sdf.preds t.sess_sdf a.Sdf.actor_name);
   values
 
+(* Token telemetry for one firing of [a]: consume the tokens waiting on
+   its input channels, then produce one token per outgoing edge, stamped
+   with the producing actor, its (1-based) firing index, the round and
+   the protocols the edge crosses.  Callers invoke this in topological
+   firing order — sequentially, or from the sequential commit phase of
+   the level-parallel executor — so a producer always records before
+   its same-round consumers and the FIFO match in the sink lines up
+   with channel semantics. *)
+let record_tokens t (a : Sdf.actor) =
+  let name = a.Sdf.actor_name in
+  let firing = Option.value (Hashtbl.find_opt t.firings name) ~default:1 in
+  List.iter
+    (fun (e : Sdf.edge) ->
+      ignore (Obs.Telemetry.consume ~by:name (Sdf.channel_name e)))
+    (Sdf.preds t.sess_sdf name);
+  List.iter
+    (fun (e : Sdf.edge) ->
+      ignore
+        (Obs.Telemetry.produce ~protocols:(Sdf.edge_protocols e) ~round:t.round
+           ~dst:e.Sdf.edge_dst ~src:name ~firing (Sdf.channel_name e)))
+    (Sdf.succs t.sess_sdf name)
+
 let step t ~stimulus =
   Hashtbl.reset t.outputs;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.delay_snapshot k v) t.delay_state;
   let port_samples = ref [] in
+  let tracing = Obs.Telemetry.enabled () in
   let fire (a : Sdf.actor) =
     let blk = a.Sdf.actor_block in
     let ins = input_values t a in
@@ -205,7 +232,8 @@ let step t ~stimulus =
           (fun j v -> set (j + 1) v)
           (behaviour ~sfunctions:t.sess_sfunctions a ins));
     Hashtbl.replace t.firings a.Sdf.actor_name
-      (1 + Option.value (Hashtbl.find_opt t.firings a.Sdf.actor_name) ~default:0)
+      (1 + Option.value (Hashtbl.find_opt t.firings a.Sdf.actor_name) ~default:0);
+    if tracing then record_tokens t a
   in
   List.iter (fun name -> fire (session_actor t name)) t.sess_order;
   t.round <- t.round + 1;
@@ -222,6 +250,7 @@ let step_parallel t pool lvls ~stimulus ~observing =
   Hashtbl.reset t.outputs;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.delay_snapshot k v) t.delay_state;
   let port_samples = ref [] in
+  let tracing = Obs.Telemetry.enabled () in
   let compute name =
     let a = session_actor t name in
     let ins = input_values t a in
@@ -246,7 +275,8 @@ let step_parallel t pool lvls ~stimulus ~observing =
         port_samples := (a.Sdf.actor_name, v) :: !port_samples
     | _ -> Array.iteri (fun j v -> set (j + 1) v) outs);
     Hashtbl.replace t.firings a.Sdf.actor_name
-      (1 + Option.value (Hashtbl.find_opt t.firings a.Sdf.actor_name) ~default:0)
+      (1 + Option.value (Hashtbl.find_opt t.firings a.Sdf.actor_name) ~default:0);
+    if tracing then record_tokens t a
   in
   List.iter
     (fun level ->
@@ -294,6 +324,13 @@ let run ?sfunctions ?stimulus ?pool ~rounds sdf =
       ])
   @@ fun () ->
   let stimulus = Option.value stimulus ~default:default_stimulus in
+  Obs.Journal.record "exec.run"
+    ~fields:
+      [
+        ("rounds", Obs.Json.Int rounds);
+        ("actors", Obs.Json.Int (List.length sdf.Sdf.actors));
+        ("edges", Obs.Json.Int (List.length sdf.Sdf.edges));
+      ];
   let session = start ?sfunctions sdf in
   (* Level-parallel mode: only when handed a pool that really has
      worker domains; [levels] shares [firing_order]'s Deadlock check. *)
@@ -343,4 +380,26 @@ let run ?sfunctions ?stimulus ?pool ~rounds sdf =
     (fun (name, n) -> if n > 0 then Obs.Metrics.incr ("exec.firings." ^ name) ~by:n)
     firings;
   channel_metrics sdf rounds;
+  Obs.Journal.record "exec.done"
+    ~fields:
+      [
+        ("rounds", Obs.Json.Int rounds);
+        ( "firings",
+          Obs.Json.Int (List.fold_left (fun acc (_, n) -> acc + n) 0 firings) );
+        ("parallel", Obs.Json.Bool (level_mode <> None));
+      ];
+  (* With token tracing on, persist each channel's high-water mark in
+     the journal — the part of the occupancy story worth keeping after
+     the token ring has wrapped. *)
+  if Obs.Telemetry.enabled () then
+    List.iter
+      (fun (s : Obs.Telemetry.channel_stat) ->
+        Obs.Journal.record "channel.hwm"
+          ~fields:
+            [
+              ("channel", Obs.Json.String s.Obs.Telemetry.chan_name);
+              ("hwm", Obs.Json.Int s.Obs.Telemetry.chan_hwm);
+              ("round", Obs.Json.Int s.Obs.Telemetry.chan_hwm_round);
+            ])
+      (Obs.Telemetry.channels ());
   { rounds; traces; firings }

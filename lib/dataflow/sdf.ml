@@ -186,6 +186,14 @@ let of_model (m : Model.t) =
   { actors; edges; graph_inputs; graph_outputs }
 
 let find_actor t name = List.find_opt (fun a -> String.equal a.actor_name name) t.actors
+
+(* Canonical channel identity for an edge — shared by the KPN runtime,
+   the token-tracing executors and conformance reports, so a channel
+   named in one shows up verbatim in the others. *)
+let channel_name e =
+  Printf.sprintf "%s/%d->%s/%d" e.edge_src e.edge_src_port e.edge_dst e.edge_dst_port
+
+let edge_protocols e = List.map snd e.edge_channels
 let preds t name = List.filter (fun e -> String.equal e.edge_dst name) t.edges
 let succs t name = List.filter (fun e -> String.equal e.edge_src name) t.edges
 

@@ -47,6 +47,14 @@ val of_model : Umlfront_simulink.Model.t -> t
     one producer/consumer. *)
 
 val find_actor : t -> string -> actor option
+
+val channel_name : edge -> string
+(** Canonical ["src/p->dst/q"] identity of an edge's channel, shared by
+    the KPN runtime, token telemetry and conformance reports. *)
+
+val edge_protocols : edge -> string list
+(** Protocols of the channel blocks the edge crossed, outermost first. *)
+
 val preds : t -> string -> edge list
 val succs : t -> string -> edge list
 

@@ -70,7 +70,12 @@ let schedule_csv sdf =
 (* The same static schedule as [gantt], exported as Chrome trace-event
    JSON: one pid per CPU, actors as Complete events, so the schedule
    can be inspected in Perfetto next to a runtime profile from
-   Umlfront_obs.Trace. *)
+   Umlfront_obs.Trace.  Every SDF edge between two scheduled actors
+   additionally exports a flow-event pair ("s" at the producer's
+   finish, "f" at the consumer's start, bound by cat "token" and the
+   edge index), so Perfetto draws the token hand-offs as arrows across
+   CPU lanes.  All of it is derived from the static timing model, so
+   the output is deterministic and golden-testable. *)
 let chrome_json sdf =
   let module Json = Umlfront_obs.Json in
   let rows = scheduled_rows sdf in
@@ -107,9 +112,53 @@ let chrome_json sdf =
           ])
       rows
   in
+  let row name =
+    List.find_opt (fun (n, _, _, _, _) -> String.equal n name) rows
+  in
+  let flow_events =
+    List.concat
+      (List.mapi
+         (fun i (e : Sdf.edge) ->
+           match (row e.Sdf.edge_src, row e.Sdf.edge_dst) with
+           | ( Some (_, src_cpu, _, _, src_finish),
+               Some (_, dst_cpu, _, dst_start, _) ) ->
+               let base ph ts cpu =
+                 [
+                   ("name", Json.String (Sdf.channel_name e));
+                   ("cat", Json.String "token");
+                   ("ph", Json.String ph);
+                   ("id", Json.Int i);
+                   ("ts", Json.Float ts);
+                   ("pid", Json.Int (1 + cpu_index cpu));
+                   ("tid", Json.Int 1);
+                 ]
+               in
+               [
+                 Json.Obj
+                   (base "s" src_finish src_cpu
+                   @ [
+                       ( "args",
+                         Json.Obj
+                           [
+                             ( "protocols",
+                               Json.List
+                                 (List.map
+                                    (fun p -> Json.String p)
+                                    (Sdf.edge_protocols e)) );
+                           ] );
+                     ]);
+                 Json.Obj
+                   (base "f" dst_start dst_cpu @ [ ("bp", Json.String "e") ]);
+               ]
+           | _ -> [])
+         sdf.Sdf.edges)
+  in
   Json.to_string
     (Json.Obj
-       [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ])
+       [
+         ("traceEvents", Json.List (events @ flow_events));
+         ("displayTimeUnit", Json.String "ms");
+       ])
 
 let gantt ?(width = 60) sdf =
   let rows = scheduled_rows sdf in

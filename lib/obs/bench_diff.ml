@@ -1,0 +1,161 @@
+(* The bench regression gate: diff two BENCH_*.json documents (as
+   written by bench/main.exe Parts 4 and 5) and decide which way each
+   throughput metric moved.
+
+   Comparison is schema-aware:
+   - umlfront-bench-obs/1: per case (matched by name), blocks/s parsed
+     and actor firings/s — higher is better;
+   - umlfront-bench-parallel/1: per sweep point (matched by section and
+     domain count), wall-clock ms — lower is better — plus the
+     parallel-determinism flag, which must not turn false.
+
+   A metric regresses when it moves past [tolerance] percent in its
+   bad direction.  Improvements and in-tolerance noise never fail:
+   wall-clock benches on shared CI boxes are noisy, which is why the
+   gate ships with a generous default. *)
+
+type direction = Higher_better | Lower_better
+
+type finding = {
+  f_metric : string;
+  f_base : float;
+  f_current : float;
+  f_delta_pct : float; (* (current - base) / base * 100 *)
+  f_direction : direction;
+  f_regression : bool;
+}
+
+let default_tolerance = 25.0
+
+let finding ~tolerance ~direction metric base current =
+  let delta =
+    if base = 0.0 then 0.0 else (current -. base) /. Float.abs base *. 100.0
+  in
+  let regression =
+    (not (Float.is_nan delta))
+    &&
+    match direction with
+    | Higher_better -> delta < -.tolerance
+    | Lower_better -> delta > tolerance
+  in
+  {
+    f_metric = metric;
+    f_base = base;
+    f_current = current;
+    f_delta_pct = delta;
+    f_direction = direction;
+    f_regression = regression;
+  }
+
+let member_num key doc = Option.bind (Json.member key doc) Json.number
+
+let member_str key doc =
+  match Json.member key doc with Some (Json.String s) -> Some s | _ -> None
+
+(* --- umlfront-bench-obs/1 ------------------------------------------- *)
+
+let obs_findings ~tolerance base current =
+  let cases doc =
+    List.filter_map
+      (fun case -> Option.map (fun name -> (name, case)) (member_str "name" case))
+      (match Json.member "cases" doc with Some l -> Json.items l | None -> [])
+  in
+  let base_cases = cases base in
+  List.concat_map
+    (fun (name, cur) ->
+      match List.assoc_opt name base_cases with
+      | None -> []
+      | Some old ->
+          List.filter_map
+            (fun (key, label) ->
+              match (member_num key old, member_num key cur) with
+              | Some b, Some c ->
+                  Some
+                    (finding ~tolerance ~direction:Higher_better
+                       (Printf.sprintf "%s.%s" name label) b c)
+              | _ -> None)
+            [
+              ("blocks_per_s_parsed", "blocks_per_s");
+              ("actor_firings_per_s", "firings_per_s");
+            ])
+    (cases current)
+
+(* --- umlfront-bench-parallel/1 -------------------------------------- *)
+
+let parallel_findings ~tolerance base current =
+  let sweeps section doc =
+    match Option.bind (Json.member section doc) (Json.member "sweeps") with
+    | Some l ->
+        List.filter_map
+          (fun row ->
+            Option.map (fun d -> (int_of_float d, row)) (member_num "domains" row))
+          (Json.items l)
+    | None -> []
+  in
+  let per_section section =
+    let base_rows = sweeps section base in
+    List.concat_map
+      (fun (domains, cur) ->
+        match List.assoc_opt domains base_rows with
+        | None -> []
+        | Some old -> (
+            let label = Printf.sprintf "%s.%dd" section domains in
+            let ms =
+              match (member_num "ms" old, member_num "ms" cur) with
+              | Some b, Some c ->
+                  [ finding ~tolerance ~direction:Lower_better (label ^ ".ms") b c ]
+              | _ -> []
+            in
+            match (Json.member "identical" old, Json.member "identical" cur) with
+            | Some (Json.Bool true), Some (Json.Bool false) ->
+                ms
+                @ [
+                    {
+                      f_metric = label ^ ".identical";
+                      f_base = 1.0;
+                      f_current = 0.0;
+                      f_delta_pct = -100.0;
+                      f_direction = Higher_better;
+                      f_regression = true;
+                    };
+                  ]
+            | _ -> ms))
+      (sweeps section current)
+  in
+  per_section "dse" @ per_section "exec"
+
+(* --- entry points --------------------------------------------------- *)
+
+let compare_docs ?(tolerance = default_tolerance) ~base ~current () =
+  match (member_str "schema" base, member_str "schema" current) with
+  | None, _ | _, None -> Error "missing \"schema\" member (not a BENCH_*.json?)"
+  | Some bs, Some cs when bs <> cs ->
+      Error (Printf.sprintf "schema mismatch: base %s vs current %s" bs cs)
+  | Some "umlfront-bench-obs/1", _ -> Ok (obs_findings ~tolerance base current)
+  | Some "umlfront-bench-parallel/1", _ ->
+      Ok (parallel_findings ~tolerance base current)
+  | Some other, _ -> Error (Printf.sprintf "unknown bench schema %S" other)
+
+let regressions findings = List.filter (fun f -> f.f_regression) findings
+
+let render ~tolerance findings =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "  %-36s %14s %14s %9s  %s\n" "metric" "base" "current" "delta" "verdict";
+  List.iter
+    (fun f ->
+      out "  %-36s %14.2f %14.2f %+8.1f%%  %s\n" f.f_metric f.f_base f.f_current
+        f.f_delta_pct
+        (if f.f_regression then "REGRESSION"
+         else
+           match f.f_direction with
+           | Higher_better when f.f_delta_pct > tolerance -> "improved"
+           | Lower_better when f.f_delta_pct < -.tolerance -> "improved"
+           | _ -> "ok"))
+    findings;
+  (match regressions findings with
+  | [] -> out "  no regression beyond %.0f%% tolerance (%d metrics)\n" tolerance
+            (List.length findings)
+  | r ->
+      out "  %d regression(s) beyond %.0f%% tolerance\n" (List.length r) tolerance);
+  Buffer.contents buf

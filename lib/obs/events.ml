@@ -1,9 +1,11 @@
 (* Structured events: one reporting path shared by every library.
 
    An event goes (a) to Logs, formatted "name key=value ...", under the
-   caller's Logs source, and (b) into the trace sink as an instant
-   event when profiling is on.  Passes that already have a Logs source
-   keep it; passes that do not can use [default_src]. *)
+   caller's Logs source, (b) into the trace sink as an instant event
+   when profiling is on, and (c) into the always-on run journal, so
+   `umlfront journal` replays the event stream of any run without
+   opting in beforehand.  Passes that already have a Logs source keep
+   it; passes that do not can use [default_src]. *)
 
 let default_src = Logs.Src.create "umlfront.obs" ~doc:"umlfront structured events"
 
@@ -21,4 +23,5 @@ let emit ?(level = Logs.Info) ?(src = default_src) ?(fields = []) name =
       m "%s%s" name
         (String.concat ""
            (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (field_to_string v)) fields)));
-  Trace.instant ~cat:"event" ~args:fields name
+  Trace.instant ~cat:"event" ~args:fields name;
+  Journal.record ~fields name

@@ -1,0 +1,125 @@
+(* The run journal: an always-on, bounded, process-global event stream.
+
+   Every notable runtime fact — flow phase boundaries, structured
+   events, executor rounds, channel high-water marks, deadlock victims,
+   stall reports — lands here as one entry, cheap enough to leave
+   recording unconditionally: an append is a mutex plus an array write
+   into a fixed ring.  When the ring wraps, the oldest entries are
+   dropped and counted, so the journal of a crashed ten-minute run is
+   still the *last* few thousand events, which is the end you want to
+   read.
+
+   Serialization is JSON Lines: one entry per line, grep-able, and
+   `umlfront journal MODEL` replays/filters it from the CLI. *)
+
+type entry = {
+  j_seq : int; (* monotonically increasing, survives ring wrap *)
+  j_ts_us : float; (* microseconds since process start (journal init) *)
+  j_kind : string; (* dotted event name, e.g. "exec.round" *)
+  j_fields : (string * Json.t) list;
+}
+
+let default_capacity = 4096
+
+type sink = {
+  mutable ring : entry option array;
+  mutable next_seq : int;
+  mutable dropped : int;
+  t0 : float; (* Unix time at module init, seconds *)
+}
+
+let sink =
+  {
+    ring = Array.make default_capacity None;
+    next_seq = 0;
+    dropped = 0;
+    t0 = Unix.gettimeofday ();
+  }
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let now_us () = (Unix.gettimeofday () -. sink.t0) *. 1e6
+
+let capacity () = locked (fun () -> Array.length sink.ring)
+
+let reset () =
+  locked @@ fun () ->
+  Array.fill sink.ring 0 (Array.length sink.ring) None;
+  sink.next_seq <- 0;
+  sink.dropped <- 0
+
+(* Resizing clears: the ring is bookkeeping, not data to migrate. *)
+let set_capacity n =
+  if n < 1 then invalid_arg "journal: capacity must be >= 1";
+  locked @@ fun () ->
+  sink.ring <- Array.make n None;
+  sink.next_seq <- 0;
+  sink.dropped <- 0
+
+let record ?(fields = []) kind =
+  let ts = now_us () in
+  locked @@ fun () ->
+  let slot = sink.next_seq mod Array.length sink.ring in
+  if sink.ring.(slot) <> None then sink.dropped <- sink.dropped + 1;
+  sink.ring.(slot) <-
+    Some { j_seq = sink.next_seq; j_ts_us = ts; j_kind = kind; j_fields = fields };
+  sink.next_seq <- sink.next_seq + 1
+
+let dropped () = locked (fun () -> sink.dropped)
+
+(* Oldest first; the ring is read starting at the slot the next append
+   would overwrite. *)
+let entries () =
+  locked @@ fun () ->
+  let cap = Array.length sink.ring in
+  let start = sink.next_seq mod cap in
+  let rec collect i acc =
+    if i = cap then List.rev acc
+    else
+      match sink.ring.((start + i) mod cap) with
+      | Some e -> collect (i + 1) (e :: acc)
+      | None -> collect (i + 1) acc
+  in
+  collect 0 []
+
+let filter ~kind es =
+  List.filter
+    (fun e ->
+      String.equal e.j_kind kind
+      || String.starts_with ~prefix:(kind ^ ".") e.j_kind)
+    es
+
+let entry_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.j_seq);
+       ("ts_us", Json.Float e.j_ts_us);
+       ("kind", Json.String e.j_kind);
+     ]
+    @ match e.j_fields with [] -> [] | l -> [ ("fields", Json.Obj l) ])
+
+let to_jsonl es =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (entry_json e));
+      Buffer.add_char buf '\n')
+    es;
+  Buffer.contents buf
+
+let write ?kind path =
+  let es = entries () in
+  let es = match kind with Some k -> filter ~kind:k es | None -> es in
+  let oc = open_out path in
+  output_string oc (to_jsonl es);
+  close_out oc

@@ -105,12 +105,16 @@ let observe ?registry:r name v =
   | Counter _ | Gauge _ -> invalid_arg ("metrics: " ^ name ^ " is not a histogram")
 
 (* Percentile with linear interpolation between closest ranks, over a
-   sorted array.  Exposed for the test suite. *)
+   sorted array.  Exposed for the test suite.  [p] is clamped to
+   [0, 100]: an out-of-range request used to index outside the array,
+   and with 0 or 1 samples the closest-rank formula degenerates — 0
+   samples answer NaN, 1 sample answers that sample for every p. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then Float.nan
   else if n = 1 then sorted.(0)
   else
+    let p = if Float.is_nan p then 50.0 else Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = min (lo + 1) (n - 1) in

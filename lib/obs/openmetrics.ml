@@ -1,0 +1,53 @@
+(* OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+   Counters render as `<name>_total`, gauges as plain samples,
+   histograms as summaries (quantile series + _sum/_count), all under
+   a `umlfront_` prefix with registry names sanitized to the metric
+   charset ([a-zA-Z0-9_:]).  The output ends with `# EOF` as the
+   OpenMetrics spec requires, so it can be served verbatim to a
+   scraper or diffed in tests. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let metric_name s = "umlfront_" ^ sanitize s
+
+(* OpenMetrics floats: finite decimal, NaN spelled "NaN". *)
+let value v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_stat buf (s : Metrics.stat) =
+  let name = metric_name s.Metrics.s_name in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match s.Metrics.s_kind with
+  | "counter" ->
+      line "# TYPE %s counter\n" name;
+      line "%s_total %d\n" name s.Metrics.s_count
+  | "gauge" ->
+      line "# TYPE %s gauge\n" name;
+      line "%s %s\n" name (value s.Metrics.s_value)
+  | _ ->
+      (* histogram: exported as a summary — the registry keeps exact
+         count plus sampled quantiles, not cumulative buckets. *)
+      line "# TYPE %s summary\n" name;
+      List.iter
+        (fun (q, v) -> line "%s{quantile=\"%s\"} %s\n" name q (value v))
+        [
+          ("0.5", s.Metrics.s_p50); ("0.95", s.Metrics.s_p95); ("0.99", s.Metrics.s_p99);
+        ];
+      line "%s_sum %s\n" name
+        (value (s.Metrics.s_value *. float_of_int s.Metrics.s_count));
+      line "%s_count %d\n" name s.Metrics.s_count
+
+let render stats =
+  let buf = Buffer.create 1024 in
+  List.iter (render_stat buf) stats;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -77,36 +77,48 @@ let instant ?(cat = "event") ?(args = []) name =
         ev_tid = tid (); ev_args = args }
 
 (* [args] is a thunk so that argument computation (block counts, etc.)
-   costs nothing when the sink is disabled. *)
+   costs nothing when the sink is disabled.  The body runs under
+   [Fun.protect]: a raising phase still pops the span stack and records
+   its Complete event (with an "error" arg), so the exported Chrome
+   trace stays well-formed — no dangling open span, no depth drift.
+   A raising [args] thunk must not leak the span either, so the pop is
+   itself protected. *)
 let with_span ?(cat = "span") ?args name f =
   if not sink.on then f ()
   else begin
     let ts = now_us () in
     let alloc0 = Gc.allocated_bytes () in
     locked (fun () -> sink.stack <- name :: sink.stack);
-    let close extra =
-      locked (fun () ->
-          sink.stack <- (match sink.stack with _ :: rest -> rest | [] -> []));
+    let error = ref None in
+    let close () =
+      let extra =
+        match !error with
+        | Some e -> [ ("error", Json.String (Printexc.to_string e)) ]
+        | None -> []
+      in
       let alloc = Gc.allocated_bytes () -. alloc0 in
-      let computed = match args with Some g -> g () | None -> [] in
-      record
-        {
-          ev_name = name;
-          ev_cat = cat;
-          ev_ph = 'X';
-          ev_ts = ts;
-          ev_dur = now_us () -. ts;
-          ev_tid = tid ();
-          ev_args = (("alloc_bytes", Json.Float alloc) :: computed) @ extra;
-        }
+      Fun.protect
+        ~finally:(fun () ->
+          locked (fun () ->
+              sink.stack <- (match sink.stack with _ :: rest -> rest | [] -> [])))
+        (fun () ->
+          let computed = match args with Some g -> g () | None -> [] in
+          record
+            {
+              ev_name = name;
+              ev_cat = cat;
+              ev_ph = 'X';
+              ev_ts = ts;
+              ev_dur = now_us () -. ts;
+              ev_tid = tid ();
+              ev_args = (("alloc_bytes", Json.Float alloc) :: computed) @ extra;
+            })
     in
-    match f () with
-    | v ->
-        close [];
-        v
-    | exception e ->
-        close [ ("error", Json.String (Printexc.to_string e)) ];
-        raise e
+    Fun.protect ~finally:close (fun () ->
+        try f ()
+        with e ->
+          error := Some e;
+          raise e)
   end
 
 (* Duration of the most recent complete span with [name], in

@@ -205,6 +205,14 @@ let clean_report model =
 
 let json_report ~file ds = Obs.Json.to_string (D.list_to_json ~file ds) ^ "\n"
 
+(* The crane schedule as Chrome trace JSON, including the flow-event
+   arrows for every token hand-off: all of it comes from the static
+   timing model, so the bytes are pinnable. *)
+let crane_trace () =
+  Umlfront_dataflow.Trace_export.chrome_json
+    (Umlfront_dataflow.Sdf.of_model (crane_caam ()))
+  ^ "\n"
+
 (* The renderable golden files, keyed by file name under test/golden/;
    golden_gen.exe prints one of these, the dune diff rules pin each
    byte-for-byte. *)
@@ -219,6 +227,7 @@ let goldens =
     ("crane_defects.lint.txt", fun () -> D.render (defect_report ()));
     ( "crane_defects.lint.json",
       fun () -> json_report ~file:"crane_defects" (defect_report ()) );
+    ("crane.trace.json", crane_trace);
   ]
 
 let golden_names = List.map fst goldens

@@ -75,11 +75,31 @@ let engine_tests =
         check Alcotest.bool "seq unaffected" true
           (List.assoc Conform.Seq report.Conform.verdicts = Conform.Agree);
         match Conform.disagreements report with
-        | [ (Conform.Kpn, Conform.Trace { round; port; expected; actual }) ] ->
+        | [ (Conform.Kpn, Conform.Trace { round; port; expected; actual; provenance }) ]
+          -> (
             check Alcotest.int "earliest round" 0 round;
             check Alcotest.bool "a real output port" true
               (List.mem port report.Conform.outputs);
-            check (Alcotest.float 1e-9) "offset visible" 1.0 (actual -. expected)
+            check (Alcotest.float 1e-9) "offset visible" 1.0 (actual -. expected);
+            (* The divergent token's causal identity: producing block,
+               firing index, channel — the tentpole acceptance check. *)
+            match provenance with
+            | None -> Alcotest.fail "expected token provenance on the divergence"
+            | Some p ->
+                check Alcotest.bool "provenance names a block" true
+                  (p.Conform.prov_block <> "");
+                check Alcotest.int "firing = round + 1" (round + 1)
+                  p.Conform.prov_firing;
+                check Alcotest.bool "channel names the port" true
+                  (let ch = p.Conform.prov_channel in
+                   String.length ch > String.length port
+                   &&
+                   let tail =
+                     String.sub ch
+                       (String.length ch - String.length port - 2)
+                       (String.length port)
+                   in
+                   String.equal tail port))
         | _ -> Alcotest.fail "expected exactly one Kpn trace disagreement");
     test "corrupting only one backend leaves the others green" (fun () ->
         let report = Conform.check ~rounds:4 ~corrupt:break_kpn (crane_caam ()) in

@@ -12,6 +12,8 @@ let feq = Alcotest.float 1e-6
 
 (* --- JSON serializer ------------------------------------------------ *)
 
+let contains = Astring_contains.contains
+
 let json_escaping () =
   check Alcotest.string "escapes" "{\"a\\\"b\":\"x\\ny\\tz\\\\\"}"
     (Json.to_string (Json.Obj [ ("a\"b", Json.String "x\ny\tz\\") ]));
@@ -20,6 +22,42 @@ let json_escaping () =
        (Json.List [ Json.Null; Json.Bool true; Json.Int 42; Json.Int (-1); Json.Float 1.5 ]));
   check Alcotest.string "integral floats printed as integers" "[3,null]"
     (Json.to_string (Json.List [ Json.Float 3.0; Json.Float Float.nan ]))
+
+(* --- JSON parser ----------------------------------------------------- *)
+
+let json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n\t\\");
+        ("n", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Obj [ ("k", Json.String "v") ] ]);
+      ]
+  in
+  (match Json.parse (Json.to_string doc) with
+  | Ok v -> check Alcotest.string "serializer output parses back" (Json.to_string doc) (Json.to_string v)
+  | Error e -> Alcotest.fail e);
+  (match Json.parse "  { \"a\" : [ 1 , 2.5 , 1e2 , true ] } " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f1; Json.Float f2; Json.Bool true ]) ]) ->
+      check feq "fraction" 2.5 f1;
+      check feq "exponent" 100.0 f2
+  | Ok v -> Alcotest.failf "unexpected shape: %s" (Json.to_string v)
+  | Error e -> Alcotest.fail e);
+  match Json.parse "\"A\\u0041B\"" with
+  | Ok (Json.String s) -> check Alcotest.string "ascii \\u escape decoded" "AAB" s
+  | _ -> Alcotest.fail "unicode escape did not parse"
+
+let json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v -> Alcotest.failf "%S should not parse, got %s" s (Json.to_string v)
+      | Error e ->
+          check Alcotest.bool (s ^ " error carries an offset") true (contains e "offset"))
+    [ "{"; "[1,]"; "tru"; "1 x"; "\"unterminated"; ""; "{\"a\" 1}" ]
 
 (* --- metrics registry ------------------------------------------------ *)
 
@@ -63,6 +101,29 @@ let percentile_edge_cases () =
   check feq "p100 is max" 3.0 (Metrics.percentile [| 1.0; 2.0; 3.0 |] 100.0);
   check feq "interpolates" 1.5 (Metrics.percentile [| 1.0; 2.0 |] 50.0);
   check Alcotest.bool "empty is nan" true (Float.is_nan (Metrics.percentile [||] 50.0))
+
+(* Tiny sample counts and out-of-range ranks, pinned: the quantile code
+   must clamp rather than index out of bounds or return garbage. *)
+let percentile_tiny_counts_pinned () =
+  let pins ~name ~values (p50, p95, p99) =
+    let r = fresh () in
+    List.iter (Metrics.observe ~registry:r "h") values;
+    match Metrics.snapshot ~registry:r () with
+    | [ h ] ->
+        check feq (name ^ " p50") p50 h.Metrics.s_p50;
+        check feq (name ^ " p95") p95 h.Metrics.s_p95;
+        check feq (name ^ " p99") p99 h.Metrics.s_p99
+    | l -> Alcotest.failf "expected 1 stat, got %d" (List.length l)
+  in
+  pins ~name:"one sample" ~values:[ 7.0 ] (7.0, 7.0, 7.0);
+  pins ~name:"two samples" ~values:[ 3.0; 1.0 ] (2.0, 2.9, 2.98);
+  pins ~name:"three samples" ~values:[ 2.0; 3.0; 1.0 ] (2.0, 2.9, 2.98);
+  (* Rank clamping: out-of-range p must clamp to min/max, a NaN rank
+     falls back to the median. *)
+  check feq "p>100 clamps to max" 3.0 (Metrics.percentile [| 1.0; 2.0; 3.0 |] 150.0);
+  check feq "p<0 clamps to min" 1.0 (Metrics.percentile [| 1.0; 2.0; 3.0 |] (-5.0));
+  check feq "nan rank falls back to median" 2.0
+    (Metrics.percentile [| 1.0; 2.0; 3.0 |] Float.nan)
 
 let kind_mismatch () =
   let r = fresh () in
@@ -111,6 +172,25 @@ let disabled_sink_records_nothing () =
   Trace.reset ();
   Trace.with_span "ghost" (fun () -> Trace.instant "ghost-instant");
   check Alcotest.int "no events when disabled" 0 (List.length (Trace.events ()))
+
+(* A flow phase that raises mid-pipeline must leave the trace sink
+   well-formed: no dangling span depth, the raising span recorded with
+   its error argument (the Fun.protect in Trace.with_span), and the
+   journal still holding the phase-start entries. *)
+let raising_flow_phase_is_exception_safe () =
+  Trace.enable ();
+  Obs.Journal.reset ();
+  (match Umlfront_core.Flow.run (Lint_mutants.mut_unknown_callee (Lint_mutants.crane ())) with
+  | _ -> Alcotest.fail "a model with an unknown callee must be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "depth restored after raising phase" 0 (Trace.depth ());
+  let errored =
+    List.filter (fun e -> List.mem_assoc "error" e.Trace.ev_args) (Trace.events ())
+  in
+  check Alcotest.bool "raising phase recorded with an error arg" true (errored <> []);
+  check Alcotest.bool "phase starts journaled up to the failure" true
+    (Obs.Journal.filter ~kind:"flow" (Obs.Journal.entries ()) <> []);
+  Trace.disable ()
 
 (* --- Chrome trace JSON shape ----------------------------------------- *)
 
@@ -174,20 +254,195 @@ let metrics_table_renders () =
   check Alcotest.bool "has counter row" true (Astring_contains.contains table "flow.runs");
   check Alcotest.bool "has histogram row" true (Astring_contains.contains table "histogram")
 
+(* --- OpenMetrics exposition ------------------------------------------ *)
+
+let openmetrics_rendering () =
+  let r = fresh () in
+  Metrics.incr ~registry:r ~by:5 "flow.runs";
+  Metrics.set_gauge ~registry:r "queue len" 2.5;
+  Metrics.observe ~registry:r "lat" 1.0;
+  Metrics.observe ~registry:r "lat" 3.0;
+  let out = Obs.Openmetrics.render (Metrics.snapshot ~registry:r ()) in
+  check Alcotest.bool "counter TYPE line" true
+    (contains out "# TYPE umlfront_flow_runs counter");
+  check Alcotest.bool "counter sample has _total suffix" true
+    (contains out "umlfront_flow_runs_total 5\n");
+  check Alcotest.bool "gauge sanitizes spaces" true
+    (contains out "umlfront_queue_len 2.5\n");
+  check Alcotest.bool "histogram is a summary" true
+    (contains out "# TYPE umlfront_lat summary");
+  check Alcotest.bool "median quantile series" true
+    (contains out "umlfront_lat{quantile=\"0.5\"} 2\n");
+  check Alcotest.bool "summary count" true (contains out "umlfront_lat_count 2\n");
+  check Alcotest.bool "sum is mean times count" true (contains out "umlfront_lat_sum 4\n");
+  check Alcotest.bool "ends with EOF marker" true
+    (String.length out >= 6 && String.sub out (String.length out - 6) 6 = "# EOF\n")
+
+(* --- run journal ----------------------------------------------------- *)
+
+let journal_records_and_filters () =
+  Obs.Journal.reset ();
+  Obs.Journal.record "alpha";
+  Obs.Journal.record ~fields:[ ("rounds", Json.Int 3) ] "exec.run";
+  Obs.Journal.record "exec.done";
+  Obs.Journal.record "executioner";
+  let es = Obs.Journal.entries () in
+  check Alcotest.int "all four entries" 4 (List.length es);
+  check Alcotest.bool "sequence numbers ascend" true
+    (List.for_all2
+       (fun e i -> e.Obs.Journal.j_seq = i)
+       es
+       (List.init 4 (fun i -> i)));
+  let execs = Obs.Journal.filter ~kind:"exec" es in
+  check Alcotest.int "prefix filter matches dotted kinds only" 2 (List.length execs);
+  check Alcotest.int "exact filter" 1
+    (List.length (Obs.Journal.filter ~kind:"alpha" es));
+  let jsonl = Obs.Journal.to_jsonl es in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl) in
+  check Alcotest.int "one JSONL line per entry" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok doc ->
+          check Alcotest.bool "line has a kind" true (Json.member "kind" doc <> None)
+      | Error e -> Alcotest.fail e)
+    lines
+
+let journal_ring_wraps_and_counts_drops () =
+  Obs.Journal.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () -> Obs.Journal.set_capacity Obs.Journal.default_capacity)
+    (fun () ->
+      for i = 1 to 6 do
+        Obs.Journal.record (Printf.sprintf "k%d" i)
+      done;
+      let es = Obs.Journal.entries () in
+      check Alcotest.int "ring keeps the newest capacity entries" 4 (List.length es);
+      check Alcotest.string "oldest surviving entry" "k3"
+        (List.hd es).Obs.Journal.j_kind;
+      check Alcotest.string "newest entry" "k6"
+        (List.nth es 3).Obs.Journal.j_kind;
+      check Alcotest.int "dropped entries counted" 2 (Obs.Journal.dropped ()))
+
+(* --- bench regression gate ------------------------------------------- *)
+
+let obs_bench_doc blocks =
+  Json.Obj
+    [
+      ("schema", Json.String "umlfront-bench-obs/1");
+      ( "cases",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "crane");
+                ("blocks_per_s_parsed", Json.Float blocks);
+                ("actor_firings_per_s", Json.Float 1000.0);
+              ];
+          ] );
+    ]
+
+let bench_diff_flags_regressions () =
+  let module BD = Obs.Bench_diff in
+  let diff current =
+    match BD.compare_docs ~base:(obs_bench_doc 100.0) ~current () with
+    | Ok findings -> findings
+    | Error e -> Alcotest.fail e
+  in
+  (* -30% throughput against the default 25% tolerance: regression. *)
+  (match BD.regressions (diff (obs_bench_doc 70.0)) with
+  | [ f ] ->
+      check Alcotest.string "metric name" "crane.blocks_per_s" f.BD.f_metric;
+      check feq "delta" (-30.0) f.BD.f_delta_pct
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  check Alcotest.int "-10%% is within tolerance" 0
+    (List.length (BD.regressions (diff (obs_bench_doc 90.0))));
+  check Alcotest.int "+40%% is an improvement, not a regression" 0
+    (List.length (BD.regressions (diff (obs_bench_doc 140.0))));
+  let rendered = BD.render ~tolerance:BD.default_tolerance (diff (obs_bench_doc 70.0)) in
+  check Alcotest.bool "render names the verdict" true (contains rendered "REGRESSION")
+
+let parallel_bench_doc ~ms ~identical =
+  Json.Obj
+    [
+      ("schema", Json.String "umlfront-bench-parallel/1");
+      ( "exec",
+        Json.Obj
+          [
+            ( "sweeps",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("domains", Json.Int 2);
+                      ("ms", Json.Float ms);
+                      ("identical", Json.Bool identical);
+                    ];
+                ] );
+          ] );
+    ]
+
+let bench_diff_parallel_schema () =
+  let module BD = Obs.Bench_diff in
+  let diff current =
+    match
+      BD.compare_docs ~base:(parallel_bench_doc ~ms:100.0 ~identical:true) ~current ()
+    with
+    | Ok findings -> BD.regressions findings
+    | Error e -> Alcotest.fail e
+  in
+  (* Wall-clock is lower-better: +40% ms regresses, -40% ms does not. *)
+  (match diff (parallel_bench_doc ~ms:140.0 ~identical:true) with
+  | [ f ] -> check Alcotest.string "metric" "exec.2d.ms" f.BD.f_metric
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  check Alcotest.int "faster is fine" 0
+    (List.length (diff (parallel_bench_doc ~ms:60.0 ~identical:true)));
+  (* Losing parallel determinism is always a regression. *)
+  match diff (parallel_bench_doc ~ms:100.0 ~identical:false) with
+  | [ f ] -> check Alcotest.string "metric" "exec.2d.identical" f.BD.f_metric
+  | l -> Alcotest.failf "expected the identical-flag regression, got %d" (List.length l)
+
+let bench_diff_rejects_foreign_documents () =
+  let module BD = Obs.Bench_diff in
+  let expect_error ~base ~current hint =
+    match BD.compare_docs ~base ~current () with
+    | Ok _ -> Alcotest.fail "expected an error"
+    | Error e -> check Alcotest.bool ("error mentions " ^ hint) true (contains e hint)
+  in
+  expect_error ~base:(Json.Obj []) ~current:(obs_bench_doc 1.0) "schema";
+  expect_error
+    ~base:(obs_bench_doc 1.0)
+    ~current:(parallel_bench_doc ~ms:1.0 ~identical:true)
+    "mismatch";
+  expect_error
+    ~base:(Json.Obj [ ("schema", Json.String "nope/9") ])
+    ~current:(Json.Obj [ ("schema", Json.String "nope/9") ])
+    "unknown"
+
 let suite =
   [
     ( "obs",
       [
         test "json escaping" json_escaping;
+        test "json parse round-trips" json_parse_roundtrip;
+        test "json parse rejects malformed input" json_parse_errors;
         test "counters and gauges" counters_and_gauges;
         test "histogram percentiles" histogram_percentiles;
         test "percentile edge cases" percentile_edge_cases;
+        test "percentile tiny counts pinned" percentile_tiny_counts_pinned;
         test "kind mismatch rejected" kind_mismatch;
         test "span nesting" span_nesting;
         test "span exception safety" span_exception_safety;
+        test "raising flow phase is exception safe" raising_flow_phase_is_exception_safe;
         test "disabled sink records nothing" disabled_sink_records_nothing;
         test "chrome trace shape" chrome_trace_shape;
         test "structured events reach the sink" events_api_logs_and_traces;
         test "metrics table renders" metrics_table_renders;
+        test "openmetrics rendering" openmetrics_rendering;
+        test "journal records and filters" journal_records_and_filters;
+        test "journal ring wraps" journal_ring_wraps_and_counts_drops;
+        test "bench-diff flags regressions" bench_diff_flags_regressions;
+        test "bench-diff parallel schema" bench_diff_parallel_schema;
+        test "bench-diff rejects foreign documents" bench_diff_rejects_foreign_documents;
       ] );
   ]
