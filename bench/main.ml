@@ -441,6 +441,44 @@ let instrumentation_overhead ~smoke () =
       ("percent", Json.Float percent);
     ]
 
+(* Context plumbing overhead: the same flow run through an explicit,
+   fully-armed telemetry context vs. plain ambient (?ctx:None, global
+   sinks off).  Reported as a ratio (ctx_ms / baseline_ms, ~1.0 when
+   plumbing is free) so the bench gate can diff it robustly across
+   machines — percent deltas explode when the baseline is microseconds. *)
+let context_overhead ~smoke () =
+  let reps = if smoke then 5 else 30 in
+  let measure mk_ctx =
+    for _ = 1 to 3 do
+      ignore
+        (Core.Flow.run ~strategy:Core.Flow.Infer_linear ?ctx:(mk_ctx ())
+           (Cs.Synthetic_system.model ()))
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore
+        (Core.Flow.run ~strategy:Core.Flow.Infer_linear ?ctx:(mk_ctx ())
+           (Cs.Synthetic_system.model ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int reps
+  in
+  Obs.Trace.disable ();
+  let baseline = measure (fun () -> None) in
+  let ctx_ms =
+    measure (fun () -> Some (Obs.Context.create ~trace:true ~telemetry:true ()))
+  in
+  let factor = ctx_ms /. baseline in
+  row "  ?ctx:None %8.3f ms/flow | explicit ctx %8.3f ms/flow | factor %.3f\n"
+    baseline ctx_ms factor;
+  Json.Obj
+    [
+      ("flow", Json.String "synthetic12");
+      ("reps", Json.Int reps);
+      ("baseline_ms", Json.Float baseline);
+      ("ctx_ms", Json.Float ctx_ms);
+      ("factor", Json.Float factor);
+    ]
+
 let write_json ~outdir file doc =
   let path = Filename.concat outdir file in
   let oc = open_out path in
@@ -462,12 +500,14 @@ let observability_bench ~smoke ~outdir () =
   in
   let cases = [ crane; synthetic; mjpeg ] in
   let overhead = instrumentation_overhead ~smoke () in
+  let ctx_overhead = context_overhead ~smoke () in
   write_json ~outdir "BENCH_obs.json"
     (Json.Obj
        [
          ("schema", Json.String "umlfront-bench-obs/1");
          ("cases", Json.List cases);
          ("overhead", overhead);
+         ("context_overhead", ctx_overhead);
        ])
 
 (* ------------------------------------------------------------------ *)

@@ -484,19 +484,49 @@ let plantuml_cmd =
         $ uml_arg $ dir_arg))
 
 let report_cmd =
-  let action path strategy cpus =
+  let action path strategy cpus rounds jobs out =
     let uml = load path in
-    let output = Core.Flow.run ~strategy:(effective_strategy strategy cpus) uml in
-    print_string (U.Metrics.report uml);
-    print_string (Core.Report.flow_summary output);
-    print_string (Core.Report.caam_tree output.Core.Flow.caam)
+    let strategy = effective_strategy strategy cpus in
+    match out with
+    | None ->
+        let output = Core.Flow.run ~strategy uml in
+        print_string (U.Metrics.report uml);
+        print_string (Core.Report.flow_summary output);
+        print_string (Core.Report.caam_tree output.Core.Flow.caam)
+    | Some file ->
+        (* -o FILE: the single-file HTML run report.  The instrumented
+           run happens inside its own telemetry context with spans and
+           token tracing armed, so the report captures exactly this run
+           — whatever the process-global sinks were doing (a
+           surrounding --profile, say) is untouched. *)
+        let ctx = Obs.Context.create ~trace:true ~telemetry:true () in
+        let output = Core.Flow.run ~strategy ~ctx uml in
+        let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
+        ignore (with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~ctx ~rounds sdf));
+        let html =
+          Obs.Context.with_current ctx (fun () ->
+              Obs.Html_report.render ~model_name:uml.U.Model.model_name
+                ~events:(Obs.Trace.events ()) ~stats:(Obs.Metrics.snapshot ())
+                ~channels:(Obs.Telemetry.channels ())
+                ~timeline:Obs.Telemetry.occupancy_timeline
+                ~journal:(Obs.Journal.entries ()) ~dropped:(Obs.Journal.dropped ()) ())
+        in
+        let oc = open_out file in
+        output_string oc html;
+        close_out oc;
+        Printf.printf "wrote %s\n" file
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Run the whole flow and print a summary")
+    (Cmd.info "report"
+       ~doc:
+         "Run the whole flow and print a summary, or with -o FILE write a \
+          self-contained HTML run report (span tree, metrics, channel occupancy \
+          timelines, journal tail)")
     Term.(
       term_result'
-        (const (fun path strategy cpus -> protect (fun () -> action path strategy cpus))
-        $ uml_arg $ strategy_arg $ cpus_arg))
+        (const (fun path strategy cpus rounds jobs out ->
+             protect (fun () -> action path strategy cpus rounds jobs out))
+        $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ jobs_arg $ out_arg))
 
 let stats_cmd =
   let action path strategy cpus rounds jobs format metrics_out =
@@ -516,7 +546,11 @@ let stats_cmd =
       match format with
       | `Text -> Core.Report.metrics_table ~snapshot ()
       | `Json -> Obs.Json.to_string (Obs.Metrics.to_json snapshot) ^ "\n"
-      | `Openmetrics -> Obs.Openmetrics.render snapshot
+      | `Openmetrics ->
+          Obs.Openmetrics.render ~journal_dropped:(Obs.Journal.dropped ())
+            ~span_buffer_hwm:(Obs.Trace.buffer_hwm ())
+            ~span_nesting_hwm:(Obs.Trace.nesting_hwm ()) snapshot
+      | `Tree -> Obs.Span_tree.render (Obs.Trace.events ())
     in
     print_string rendered;
     match metrics_out with
@@ -531,12 +565,17 @@ let stats_cmd =
     Arg.(
       value
       & opt
-          (enum [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ])
+          (enum
+             [
+               ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics);
+               ("tree", `Tree);
+             ])
           `Text
       & info [ "format" ] ~docv:"FORMAT"
           ~doc:
-            "Registry format: text (table), json, or openmetrics \
-             (Prometheus/OpenMetrics text exposition).")
+            "Registry format: text (table), json, openmetrics \
+             (Prometheus/OpenMetrics text exposition), or tree (the span tree \
+             with per-phase self/total time and allocation attribution).")
   in
   let metrics_out_arg =
     Arg.(

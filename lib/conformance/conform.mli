@@ -75,6 +75,7 @@ val check :
   ?rounds:int ->
   ?pool:Umlfront_parallel.Pool.t ->
   ?corrupt:backend * (float -> float) ->
+  ?ctx:Umlfront_obs.Context.t ->
   Umlfront_simulink.Model.t ->
   report
 (** Run the model through [backends] (default {!all_backends}) for

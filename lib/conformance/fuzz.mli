@@ -39,6 +39,7 @@ val run :
   ?corpus:string ->
   ?corrupt:Conform.backend * (float -> float) ->
   ?progress:(case -> unit) ->
+  ?ctx:Umlfront_obs.Context.t ->
   seed:int ->
   count:int ->
   unit ->

@@ -28,6 +28,7 @@ val explore :
   ?max_cpus:int ->
   ?cost_model:Umlfront_dataflow.Timing.cost_model ->
   ?pool:Umlfront_parallel.Pool.t ->
+  ?ctx:Umlfront_obs.Context.t ->
   Umlfront_uml.Model.t ->
   result
 (** [max_cpus] defaults to the thread count (the finest platform linear

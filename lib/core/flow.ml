@@ -74,7 +74,16 @@ let lint_gate policy uml caam =
            (A.Diagnostic.summary diagnostics)
            (A.Diagnostic.to_line (List.hd denied)))
 
-let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) ?gate uml =
+(* [?ctx] runs the whole flow inside an explicit telemetry context:
+   spans, counters, journal entries and tokens all land in [ctx]
+   instead of the process-global default, which is what makes
+   concurrent flows observable in isolation.  Without it, the current
+   (usually global) context is used — the historical behaviour. *)
+let run ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) ?gate ?ctx uml =
+  (match ctx with Some c -> Obs.Context.with_current c | None -> fun f -> f ())
+  @@ fun () ->
+  if Obs.Trace.enabled () then
+    Obs.Trace.set_process_name uml.Umlfront_uml.Model.model_name;
   phase "run"
     ~args:(fun () -> [ ("model", Umlfront_obs.Json.String uml.Umlfront_uml.Model.model_name) ])
   @@ fun () ->

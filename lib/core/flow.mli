@@ -28,6 +28,7 @@ val run :
   ?style:Mapping.style ->
   ?strategy:allocation_strategy ->
   ?gate:[ `Errors | `Warnings ] ->
+  ?ctx:Umlfront_obs.Context.t ->
   Umlfront_uml.Model.t ->
   output
 (** [gate] adds a lint phase after synthesis: the UML source and the
@@ -35,6 +36,11 @@ val run :
     every finding is emitted as a structured event, and findings the
     policy denies ([`Errors], or also warnings with [`Warnings]) fail
     the run.  Default: no gate.
+
+    [ctx] runs the flow inside an explicit telemetry context: all
+    spans, metrics, journal entries and tokens land in [ctx] instead of
+    the process-global sinks, so concurrent runs with distinct contexts
+    observe fully disjoint telemetry.  Default: the current context.
 
     @raise Invalid_argument on a malformed model, [Use_deployment]
     without a deployment diagram, or a denied lint finding. *)

@@ -315,7 +315,9 @@ let channel_metrics sdf rounds =
           ~by:(edges * rounds)))
     [ "GFIFO"; "SWFIFO" ]
 
-let run ?sfunctions ?stimulus ?pool ~rounds sdf =
+let run ?sfunctions ?stimulus ?pool ?ctx ~rounds sdf =
+  (match ctx with Some c -> Obs.Context.with_current c | None -> fun f -> f ())
+  @@ fun () ->
   Obs.Trace.with_span ~cat:"exec" "exec.run"
     ~args:(fun () ->
       [

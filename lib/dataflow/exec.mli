@@ -22,6 +22,7 @@ val run :
   ?sfunctions:(string -> (float array -> float array) option) ->
   ?stimulus:(string -> int -> float) ->
   ?pool:Umlfront_parallel.Pool.t ->
+  ?ctx:Umlfront_obs.Context.t ->
   rounds:int ->
   Sdf.t ->
   outcome

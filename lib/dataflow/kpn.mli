@@ -48,6 +48,7 @@ val stall_json : stall -> Umlfront_obs.Json.t
 
 val run :
   ?fuel:int -> ?capacity:int -> ?watchdog:int ->
+  ?ctx:Umlfront_obs.Context.t ->
   (string * float process) list -> outcome
 (** [fuel] bounds total scheduler steps (default 100_000); exceeding it
     raises {!Out_of_fuel} (e.g. a livelocked network).  [capacity]

@@ -61,24 +61,39 @@ let obs_findings ~tolerance base current =
       (match Json.member "cases" doc with Some l -> Json.items l | None -> [])
   in
   let base_cases = cases base in
-  List.concat_map
-    (fun (name, cur) ->
-      match List.assoc_opt name base_cases with
-      | None -> []
-      | Some old ->
-          List.filter_map
-            (fun (key, label) ->
-              match (member_num key old, member_num key cur) with
-              | Some b, Some c ->
-                  Some
-                    (finding ~tolerance ~direction:Higher_better
-                       (Printf.sprintf "%s.%s" name label) b c)
-              | _ -> None)
-            [
-              ("blocks_per_s_parsed", "blocks_per_s");
-              ("actor_firings_per_s", "firings_per_s");
-            ])
-    (cases current)
+  let case_findings =
+    List.concat_map
+      (fun (name, cur) ->
+        match List.assoc_opt name base_cases with
+        | None -> []
+        | Some old ->
+            List.filter_map
+              (fun (key, label) ->
+                match (member_num key old, member_num key cur) with
+                | Some b, Some c ->
+                    Some
+                      (finding ~tolerance ~direction:Higher_better
+                         (Printf.sprintf "%s.%s" name label) b c)
+                | _ -> None)
+              [
+                ("blocks_per_s_parsed", "blocks_per_s");
+                ("actor_firings_per_s", "firings_per_s");
+              ])
+      (cases current)
+  in
+  (* Telemetry-context plumbing cost: the slowdown factor of a traced
+     flow run over a ?ctx:None run.  Lower is better; documents written
+     before the series existed simply lack the member and are skipped. *)
+  let ctx_factor doc =
+    Option.bind (Json.member "context_overhead" doc) (member_num "factor")
+  in
+  let ctx_findings =
+    match (ctx_factor base, ctx_factor current) with
+    | Some b, Some c ->
+        [ finding ~tolerance ~direction:Lower_better "context_overhead.factor" b c ]
+    | _ -> []
+  in
+  case_findings @ ctx_findings
 
 (* --- umlfront-bench-parallel/1 -------------------------------------- *)
 

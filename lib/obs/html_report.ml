@@ -1,0 +1,176 @@
+(* The single-file HTML run report: one self-contained artifact
+   carrying a run's whole observability story — the parented span tree,
+   the metrics table, per-channel token occupancy timelines (inline
+   SVG) and the journal tail.  No external scripts, stylesheets or
+   fonts: the file works from a mail attachment or a CI artifact
+   browser, which is the point. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {css|
+  body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem auto;
+         max-width: 70rem; color: #1a1a2e; padding: 0 1rem; }
+  h1 { font-size: 1.4rem; border-bottom: 2px solid #4361ee; padding-bottom: .3rem; }
+  h2 { font-size: 1.1rem; margin-top: 2rem; color: #3a0ca3; }
+  pre.tree { background: #f6f8fa; border: 1px solid #d0d7de; border-radius: 6px;
+             padding: 1rem; overflow-x: auto; font-size: .85rem; line-height: 1.45; }
+  table { border-collapse: collapse; font-size: .85rem; width: 100%; }
+  th, td { border: 1px solid #d0d7de; padding: .25rem .6rem; text-align: left; }
+  th { background: #f6f8fa; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  .meta { color: #6e7781; font-size: .8rem; }
+  svg.occ { background: #f6f8fa; border: 1px solid #d0d7de; border-radius: 4px; }
+  .chan { margin-bottom: 1rem; }
+|css}
+
+let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
+
+let metrics_table stats =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "<table><tr><th>metric</th><th>kind</th><th>count</th><th>value/mean</th>\
+     <th>p50</th><th>p95</th><th>p99</th></tr>\n";
+  List.iter
+    (fun (s : Metrics.stat) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td>%s</td><td>%s</td><td class=num>%d</td><td class=num>%s</td>\
+            <td class=num>%s</td><td class=num>%s</td><td class=num>%s</td></tr>\n"
+           (escape s.Metrics.s_name) s.Metrics.s_kind s.Metrics.s_count
+           (cell s.Metrics.s_value) (cell s.Metrics.s_p50) (cell s.Metrics.s_p95)
+           (cell s.Metrics.s_p99)))
+    stats;
+  Buffer.add_string buf "</table>\n";
+  Buffer.contents buf
+
+(* A channel's occupancy timeline as an SVG step line, occupancy up,
+   time rightwards, scaled into a fixed 640x80 box. *)
+let occupancy_svg points =
+  match points with
+  | [] | [ _ ] -> "<span class=meta>no occupancy samples</span>"
+  | points ->
+      let w = 640.0 and h = 80.0 and pad = 4.0 in
+      let ts = List.map fst points in
+      let t0 = List.fold_left Float.min (List.hd ts) ts in
+      let t1 = List.fold_left Float.max (List.hd ts) ts in
+      let occ_max =
+        float_of_int (List.fold_left (fun m (_, o) -> max m o) 1 points)
+      in
+      let span = if t1 -. t0 <= 0.0 then 1.0 else t1 -. t0 in
+      let x t = pad +. ((t -. t0) /. span *. (w -. (2.0 *. pad))) in
+      let y o =
+        h -. pad -. (float_of_int o /. occ_max *. (h -. (2.0 *. pad)))
+      in
+      let buf = Buffer.create 512 in
+      let started = ref false in
+      let last_y = ref 0.0 in
+      List.iter
+        (fun (t, o) ->
+          let px = x t and py = y o in
+          if !started then
+            (* step: horizontal to the new time, then vertical *)
+            Buffer.add_string buf (Printf.sprintf "L%.1f,%.1f L%.1f,%.1f " px !last_y px py)
+          else begin
+            Buffer.add_string buf (Printf.sprintf "M%.1f,%.1f " px py);
+            started := true
+          end;
+          last_y := py)
+        points;
+      Printf.sprintf
+        "<svg class=occ width=%.0f height=%.0f viewBox=\"0 0 %.0f %.0f\">\
+         <path d=\"%s\" fill=none stroke=\"#4361ee\" stroke-width=1.5/></svg>"
+        w h w h (Buffer.contents buf)
+
+let channels_section channels timeline =
+  if channels = [] then "<p class=meta>no token telemetry recorded</p>"
+  else begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      "<table><tr><th>channel</th><th>produced</th><th>consumed</th>\
+       <th>occupancy</th><th>high water</th><th>hwm round</th><th>protocols</th></tr>\n";
+    List.iter
+      (fun (c : Telemetry.channel_stat) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>%s</td><td class=num>%d</td><td class=num>%d</td>\
+              <td class=num>%d</td><td class=num>%d</td><td class=num>%d</td><td>%s</td></tr>\n"
+             (escape c.Telemetry.chan_name) c.Telemetry.chan_produced
+             c.Telemetry.chan_consumed c.Telemetry.chan_occupancy c.Telemetry.chan_hwm
+             c.Telemetry.chan_hwm_round
+             (escape (String.concat ", " c.Telemetry.chan_protocols))))
+      channels;
+    Buffer.add_string buf "</table>\n";
+    List.iter
+      (fun (c : Telemetry.channel_stat) ->
+        Buffer.add_string buf
+          (Printf.sprintf "<div class=chan><p class=meta>%s</p>%s</div>\n"
+             (escape c.Telemetry.chan_name)
+             (occupancy_svg (timeline c.Telemetry.chan_name))))
+      channels;
+    Buffer.contents buf
+  end
+
+let journal_tail ?(limit = 50) entries dropped =
+  let n = List.length entries in
+  let tail =
+    if n <= limit then entries
+    else
+      List.filteri (fun i _ -> i >= n - limit) entries
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "<p class=meta>%d entries (%d dropped), showing the last %d</p>\n" n
+       dropped (List.length tail));
+  Buffer.add_string buf "<table><tr><th>seq</th><th>ts (us)</th><th>kind</th><th>fields</th></tr>\n";
+  List.iter
+    (fun (e : Journal.entry) ->
+      let fields =
+        match e.Journal.j_fields with
+        | [] -> ""
+        | l -> Json.to_string (Json.Obj l)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td class=num>%d</td><td class=num>%.0f</td><td>%s</td><td>%s</td></tr>\n"
+           e.Journal.j_seq e.Journal.j_ts_us (escape e.Journal.j_kind) (escape fields)))
+    tail;
+  Buffer.add_string buf "</table>\n";
+  Buffer.contents buf
+
+let render ~model_name ~events ~stats ~channels ~timeline ~journal ~dropped () =
+  let span_section =
+    match events with
+    | [] -> "<p class=meta>no spans recorded (tracing was off)</p>"
+    | evs -> "<pre class=tree>" ^ escape (Span_tree.render ~timings:true evs) ^ "</pre>"
+  in
+  String.concat ""
+    [
+      "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n<title>";
+      escape model_name;
+      " — umlfront run report</title>\n<style>";
+      style;
+      "</style>\n</head>\n<body>\n<h1>";
+      escape model_name;
+      " — run report</h1>\n<p class=meta>generated by umlfront; self-contained, share at will</p>\n";
+      "<h2>Span tree</h2>\n";
+      span_section;
+      "\n<h2>Metrics</h2>\n";
+      metrics_table stats;
+      "\n<h2>Channel occupancy</h2>\n";
+      channels_section channels timeline;
+      "\n<h2>Journal tail</h2>\n";
+      journal_tail journal dropped;
+      "</body>\n</html>\n";
+    ]

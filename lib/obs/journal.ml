@@ -1,4 +1,4 @@
-(* The run journal: an always-on, bounded, process-global event stream.
+(* The run journal: an always-on, bounded event stream.
 
    Every notable runtime fact — flow phase boundaries, structured
    events, executor rounds, channel high-water marks, deadlock victims,
@@ -8,6 +8,10 @@
    dropped and counted, so the journal of a crashed ten-minute run is
    still the *last* few thousand events, which is the end you want to
    read.
+
+   Entries land in a [sink]; the process-global [default] keeps the
+   historical behaviour, and Context swaps the domain-local *current*
+   sink so concurrent flows journal independently.
 
    Serialization is JSON Lines: one entry per line, grep-able, and
    `umlfront journal MODEL` replays/filters it from the CLI. *)
@@ -25,72 +29,131 @@ type sink = {
   mutable ring : entry option array;
   mutable next_seq : int;
   mutable dropped : int;
-  t0 : float; (* Unix time at module init, seconds *)
+  t0 : float; (* Unix time at sink creation, seconds *)
+  lock : Mutex.t;
 }
 
-let sink =
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "journal: capacity must be >= 1";
   {
-    ring = Array.make default_capacity None;
+    ring = Array.make capacity None;
     next_seq = 0;
     dropped = 0;
     t0 = Unix.gettimeofday ();
+    lock = Mutex.create ();
   }
 
-let lock = Mutex.create ()
+let default = create ()
 
-let locked f =
-  Mutex.lock lock;
+let current_key = Domain.DLS.new_key (fun () -> default)
+
+let current () = Domain.DLS.get current_key
+
+let set_current s = Domain.DLS.set current_key s
+
+let locked s f =
+  Mutex.lock s.lock;
   match f () with
   | v ->
-      Mutex.unlock lock;
+      Mutex.unlock s.lock;
       v
   | exception e ->
-      Mutex.unlock lock;
+      Mutex.unlock s.lock;
       raise e
 
-let now_us () = (Unix.gettimeofday () -. sink.t0) *. 1e6
+let now_us_in s = (Unix.gettimeofday () -. s.t0) *. 1e6
 
-let capacity () = locked (fun () -> Array.length sink.ring)
+let capacity () =
+  let s = current () in
+  locked s (fun () -> Array.length s.ring)
 
 let reset () =
-  locked @@ fun () ->
-  Array.fill sink.ring 0 (Array.length sink.ring) None;
-  sink.next_seq <- 0;
-  sink.dropped <- 0
+  let s = current () in
+  locked s @@ fun () ->
+  Array.fill s.ring 0 (Array.length s.ring) None;
+  s.next_seq <- 0;
+  s.dropped <- 0
 
 (* Resizing clears: the ring is bookkeeping, not data to migrate. *)
 let set_capacity n =
   if n < 1 then invalid_arg "journal: capacity must be >= 1";
-  locked @@ fun () ->
-  sink.ring <- Array.make n None;
-  sink.next_seq <- 0;
-  sink.dropped <- 0
+  let s = current () in
+  locked s @@ fun () ->
+  s.ring <- Array.make n None;
+  s.next_seq <- 0;
+  s.dropped <- 0
 
 let record ?(fields = []) kind =
-  let ts = now_us () in
-  locked @@ fun () ->
-  let slot = sink.next_seq mod Array.length sink.ring in
-  if sink.ring.(slot) <> None then sink.dropped <- sink.dropped + 1;
-  sink.ring.(slot) <-
-    Some { j_seq = sink.next_seq; j_ts_us = ts; j_kind = kind; j_fields = fields };
-  sink.next_seq <- sink.next_seq + 1
+  let s = current () in
+  let ts = now_us_in s in
+  locked s @@ fun () ->
+  let slot = s.next_seq mod Array.length s.ring in
+  if s.ring.(slot) <> None then s.dropped <- s.dropped + 1;
+  s.ring.(slot) <-
+    Some { j_seq = s.next_seq; j_ts_us = ts; j_kind = kind; j_fields = fields };
+  s.next_seq <- s.next_seq + 1
 
-let dropped () = locked (fun () -> sink.dropped)
+let dropped () =
+  let s = current () in
+  locked s (fun () -> s.dropped)
 
 (* Oldest first; the ring is read starting at the slot the next append
    would overwrite. *)
-let entries () =
-  locked @@ fun () ->
-  let cap = Array.length sink.ring in
-  let start = sink.next_seq mod cap in
+let entries_in s =
+  locked s @@ fun () ->
+  let cap = Array.length s.ring in
+  let start = s.next_seq mod cap in
   let rec collect i acc =
     if i = cap then List.rev acc
     else
-      match sink.ring.((start + i) mod cap) with
+      match s.ring.((start + i) mod cap) with
       | Some e -> collect (i + 1) (e :: acc)
       | None -> collect (i + 1) acc
   in
   collect 0 []
+
+let entries () = entries_in (current ())
+
+(* Merge [src]'s entries into [into], re-sequenced in timestamp order
+   together with what [into] already holds.  Physically-equal sinks are
+   skipped (forked contexts alias their parent's journal), and the
+   (ts, kind) sort makes the merge order-independent. *)
+let merge ~into src =
+  if src != into then begin
+    let incoming = entries_in src in
+    let drop = locked src (fun () -> src.dropped) in
+    locked into @@ fun () ->
+    let cap = Array.length into.ring in
+    let existing =
+      let start = into.next_seq mod cap in
+      let rec collect i acc =
+        if i = cap then List.rev acc
+        else
+          match into.ring.((start + i) mod cap) with
+          | Some e -> collect (i + 1) (e :: acc)
+          | None -> collect (i + 1) acc
+      in
+      collect 0 []
+    in
+    let combined =
+      List.sort
+        (fun a b ->
+          match Float.compare a.j_ts_us b.j_ts_us with
+          | 0 -> String.compare a.j_kind b.j_kind
+          | c -> c)
+        (existing @ incoming)
+    in
+    Array.fill into.ring 0 cap None;
+    into.next_seq <- 0;
+    into.dropped <- into.dropped + drop;
+    List.iter
+      (fun e ->
+        let slot = into.next_seq mod cap in
+        if into.ring.(slot) <> None then into.dropped <- into.dropped + 1;
+        into.ring.(slot) <- Some { e with j_seq = into.next_seq };
+        into.next_seq <- into.next_seq + 1)
+      combined
+  end
 
 let filter ~kind es =
   List.filter

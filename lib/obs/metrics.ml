@@ -46,10 +46,18 @@ let locked r f =
       Mutex.unlock r.lock;
       raise e
 
-(* The process-global registry that instrumented passes record into. *)
+(* The process-global registry that instrumented passes record into
+   unless a Context has installed a different current registry on this
+   domain (see context.ml). *)
 let global = create ()
 
-let registry = function Some r -> r | None -> global
+let current_key = Domain.DLS.new_key (fun () -> global)
+
+let current () = Domain.DLS.get current_key
+
+let set_current r = Domain.DLS.set current_key r
+
+let registry = function Some r -> r | None -> current ()
 
 let reset ?registry:r () =
   let r = registry r in
@@ -103,6 +111,80 @@ let observe ?registry:r name v =
       h.h_ring.(h.h_next mod max_samples) <- v;
       h.h_next <- h.h_next + 1
   | Counter _ | Gauge _ -> invalid_arg ("metrics: " ^ name ^ " is not a histogram")
+
+(* Merge [src] into [into]: counters add, gauges keep the max, and
+   histograms combine exact count/sum/min/max while their sample rings
+   are concatenated, sorted numerically and truncated to [max_samples].
+   Every combination rule is commutative, so merging per-domain child
+   registries back into a parent (Context.merge) is independent of the
+   order the children arrive in — as long as the combined sample count
+   stays within the ring, which per-batch forks comfortably do.  The
+   source is snapshotted under its own lock before the destination is
+   locked, so no two registry locks are ever held together. *)
+let merge ~into src =
+  if src != into then begin
+    let entries =
+      locked src (fun () ->
+          List.rev_map
+            (fun name -> (name, Hashtbl.find src.table name))
+            src.names)
+    in
+    let copied =
+      List.map
+        (fun (name, m) ->
+          match m with
+          | Counter c -> (name, `C c.c)
+          | Gauge g -> (name, `G g.g)
+          | Histogram h ->
+              let kept = min h.h_count max_samples in
+              ( name,
+                `H (h.h_count, h.h_sum, h.h_min, h.h_max, Array.sub h.h_ring 0 kept) ))
+        entries
+    in
+    locked into @@ fun () ->
+    List.iter
+      (fun (name, payload) ->
+        match payload with
+        | `C n -> (
+            match find_or_add into name (fun () -> Counter { c = 0 }) with
+            | Counter c -> c.c <- c.c + n
+            | Gauge _ | Histogram _ ->
+                invalid_arg ("metrics: " ^ name ^ " is not a counter"))
+        | `G v -> (
+            match find_or_add into name (fun () -> Gauge { g = v }) with
+            | Gauge g -> if v > g.g then g.g <- v
+            | Counter _ | Histogram _ ->
+                invalid_arg ("metrics: " ^ name ^ " is not a gauge"))
+        | `H (count, sum, mn, mx, samples) -> (
+            let make () =
+              Histogram
+                {
+                  h_count = 0;
+                  h_sum = 0.0;
+                  h_min = Float.infinity;
+                  h_max = Float.neg_infinity;
+                  h_ring = Array.make max_samples 0.0;
+                  h_next = 0;
+                }
+            in
+            match find_or_add into name make with
+            | Histogram h ->
+                let kept = min h.h_count max_samples in
+                let combined =
+                  Array.append (Array.sub h.h_ring 0 kept) samples
+                in
+                Array.sort Float.compare combined;
+                let stored = min (Array.length combined) max_samples in
+                Array.blit combined 0 h.h_ring 0 stored;
+                h.h_next <- stored;
+                h.h_count <- h.h_count + count;
+                h.h_sum <- h.h_sum +. sum;
+                if mn < h.h_min then h.h_min <- mn;
+                if mx > h.h_max then h.h_max <- mx
+            | Counter _ | Gauge _ ->
+                invalid_arg ("metrics: " ^ name ^ " is not a histogram")))
+      copied
+  end
 
 (* Percentile with linear interpolation between closest ranks, over a
    sorted array.  Exposed for the test suite.  [p] is clamped to

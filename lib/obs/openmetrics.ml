@@ -46,8 +46,30 @@ let render_stat buf (s : Metrics.stat) =
         (value (s.Metrics.s_value *. float_of_int s.Metrics.s_count));
       line "%s_count %d\n" name s.Metrics.s_count
 
-let render stats =
+(* Optional sink-health series appended after the registry snapshot:
+   journal ring drops (a counter — drops only ever grow) and the span
+   buffer / nesting high-water marks (gauges).  Callers that only have
+   a metrics snapshot (the historical [render stats] shape) get exactly
+   the old exposition; `umlfront stats --format openmetrics` passes the
+   current context's sink health alongside. *)
+let render ?journal_dropped ?span_buffer_hwm ?span_nesting_hwm stats =
   let buf = Buffer.create 1024 in
   List.iter (render_stat buf) stats;
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Option.iter
+    (fun n ->
+      line "# TYPE umlfront_journal_dropped counter\n";
+      line "umlfront_journal_dropped_total %d\n" n)
+    journal_dropped;
+  Option.iter
+    (fun n ->
+      line "# TYPE umlfront_trace_span_buffer_hwm gauge\n";
+      line "umlfront_trace_span_buffer_hwm %d\n" n)
+    span_buffer_hwm;
+  Option.iter
+    (fun n ->
+      line "# TYPE umlfront_trace_span_nesting_hwm gauge\n";
+      line "umlfront_trace_span_nesting_hwm %d\n" n)
+    span_nesting_hwm;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf

@@ -1,0 +1,133 @@
+(* Text rendering of the span tree: the parent/child linkage Trace
+   events carry, folded into a forest and printed with per-span total
+   time, self time (total minus direct span children — overlapping
+   parallel children clamp to zero) and allocation attribution.  This
+   is `umlfront stats --format tree` and the span section of the HTML
+   run report.
+
+   [~timings:false] scrubs every measured quantity (durations, bytes)
+   and keeps only the structure — names, categories, nesting — which is
+   what the golden test pins byte-for-byte: the tree's *shape* is
+   deterministic for a given model, the numbers never are. *)
+
+type node = {
+  n_ev : Trace.event;
+  mutable n_children : node list; (* reversed during build *)
+}
+
+let by_start a b =
+  match Float.compare a.Trace.ev_ts b.Trace.ev_ts with
+  | 0 -> compare a.Trace.ev_id b.Trace.ev_id
+  | c -> c
+
+(* Fold events into a forest.  An event whose parent id is not in the
+   buffer (pruned, or -1) becomes a root.  Events are processed in
+   (ts, id) order, so children lists come out oldest-first. *)
+let forest events =
+  let events = List.sort by_start events in
+  let tbl = Hashtbl.create 64 in
+  let nodes =
+    List.map
+      (fun ev ->
+        let n = { n_ev = ev; n_children = [] } in
+        Hashtbl.replace tbl ev.Trace.ev_id n;
+        n)
+      events
+  in
+  let roots =
+    List.filter
+      (fun n ->
+        match Hashtbl.find_opt tbl n.n_ev.Trace.ev_parent with
+        | Some parent when parent != n ->
+            parent.n_children <- n :: parent.n_children;
+            false
+        | _ -> true)
+      nodes
+  in
+  List.iter (fun n -> n.n_children <- List.rev n.n_children) nodes;
+  roots
+
+let alloc_bytes ev =
+  match List.assoc_opt "alloc_bytes" ev.Trace.ev_args with
+  | Some (Json.Float b) -> Some b
+  | Some (Json.Int b) -> Some (float_of_int b)
+  | _ -> None
+
+let human_us us =
+  if Float.abs us >= 1e6 then Printf.sprintf "%.2fs" (us /. 1e6)
+  else if Float.abs us >= 1e3 then Printf.sprintf "%.2fms" (us /. 1e3)
+  else Printf.sprintf "%.0fus" us
+
+let human_bytes b =
+  if Float.abs b >= 1048576.0 then Printf.sprintf "%.1fMB" (b /. 1048576.0)
+  else if Float.abs b >= 1024.0 then Printf.sprintf "%.1fkB" (b /. 1024.0)
+  else Printf.sprintf "%.0fB" b
+
+let self_dur node =
+  let children =
+    List.fold_left
+      (fun acc c ->
+        if c.n_ev.Trace.ev_ph = 'X' then acc +. c.n_ev.Trace.ev_dur else acc)
+      0.0 node.n_children
+  in
+  Float.max 0.0 (node.n_ev.Trace.ev_dur -. children)
+
+(* Column width in codepoints, not bytes: the box-drawing glyphs are
+   multi-byte UTF-8 but single-column, and Printf's %-*s pads by bytes,
+   which would skew the timing columns of nested rows. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let pad width s =
+  let w = display_width s in
+  if w >= width then s else s ^ String.make (width - w) ' '
+
+let render ?(timings = true) events =
+  let buf = Buffer.create 1024 in
+  let rec emit prefix is_last node =
+    let ev = node.n_ev in
+    let branch, child_prefix =
+      if prefix = "" && is_last = None then ("", "")
+      else if is_last = Some true then (prefix ^ "└─ ", prefix ^ "   ")
+      else (prefix ^ "├─ ", prefix ^ "│  ")
+    in
+    let label =
+      if ev.Trace.ev_ph = 'i' then Printf.sprintf "· %s [%s]" ev.Trace.ev_name ev.Trace.ev_cat
+      else Printf.sprintf "%s [%s]" ev.Trace.ev_name ev.Trace.ev_cat
+    in
+    if timings && ev.Trace.ev_ph = 'X' then begin
+      let cells =
+        [
+          Printf.sprintf "total %s" (human_us ev.Trace.ev_dur);
+          Printf.sprintf "self %s" (human_us (self_dur node));
+        ]
+        @
+        match alloc_bytes ev with
+        | Some b -> [ Printf.sprintf "alloc %s" (human_bytes b) ]
+        | None -> []
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" (pad 48 (branch ^ label)) (String.concat "  " cells))
+    end
+    else Buffer.add_string buf (branch ^ label ^ "\n");
+    let rec each = function
+      | [] -> ()
+      | [ last ] -> emit child_prefix (Some true) last
+      | c :: rest ->
+          emit child_prefix (Some false) c;
+          each rest
+    in
+    each node.n_children
+  in
+  let roots = forest events in
+  let rec each = function
+    | [] -> ()
+    | [ last ] -> emit "" (Some true) last
+    | r :: rest ->
+        emit "" (Some false) r;
+        each rest
+  in
+  (match roots with [ one ] -> emit "" None one | _ -> each roots);
+  Buffer.contents buf

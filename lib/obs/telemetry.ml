@@ -68,34 +68,45 @@ type sink = {
   mutable dropped : int;
   channels : (string, chan) Hashtbl.t;
   mutable channel_names : string list; (* registration order, newest first *)
+  lock : Mutex.t;
 }
 
-let sink =
+let create ?(on = false) () =
   {
-    on = false;
+    on;
     ring = Array.make max_tokens None;
     next_id = 0;
     dropped = 0;
     channels = Hashtbl.create 64;
     channel_names = [];
+    lock = Mutex.create ();
   }
 
-let lock = Mutex.create ()
+(* The process-global sink; Context swaps the domain-local current sink
+   so concurrent flows trace tokens independently. *)
+let default = create ()
 
-let locked f =
-  Mutex.lock lock;
-  match f () with
+let current_key = Domain.DLS.new_key (fun () -> default)
+
+let current () = Domain.DLS.get current_key
+
+let set_current s = Domain.DLS.set current_key s
+
+let with_sink f =
+  let s = current () in
+  Mutex.lock s.lock;
+  match f s with
   | v ->
-      Mutex.unlock lock;
+      Mutex.unlock s.lock;
       v
   | exception e ->
-      Mutex.unlock lock;
+      Mutex.unlock s.lock;
       raise e
 
-let enabled () = sink.on
+let enabled () = (current ()).on
 
 let reset () =
-  locked @@ fun () ->
+  with_sink @@ fun sink ->
   Array.fill sink.ring 0 max_tokens None;
   sink.next_id <- 0;
   sink.dropped <- 0;
@@ -103,12 +114,12 @@ let reset () =
   sink.channel_names <- []
 
 let enable () =
-  sink.on <- true;
+  (current ()).on <- true;
   reset ()
 
-let disable () = sink.on <- false
+let disable () = (current ()).on <- false
 
-let chan_of name =
+let chan_of sink name =
   match Hashtbl.find_opt sink.channels name with
   | Some c -> c
   | None ->
@@ -138,7 +149,7 @@ let timeline_push c ts occ =
    eagerly (the SDF executor) can hand it straight to [consume]. *)
 let produce ?(protocols = []) ?(round = -1) ?(dst = "") ~src ~firing channel =
   let ts = Trace.now_us () in
-  locked @@ fun () ->
+  with_sink @@ fun sink ->
   let id = sink.next_id in
   sink.next_id <- id + 1;
   let tok =
@@ -160,7 +171,7 @@ let produce ?(protocols = []) ?(round = -1) ?(dst = "") ~src ~firing channel =
   let slot = id mod max_tokens in
   if sink.ring.(slot) <> None then sink.dropped <- sink.dropped + 1;
   sink.ring.(slot) <- Some tok;
-  let c = chan_of channel in
+  let c = chan_of sink channel in
   if protocols <> [] && c.c_protocols = [] then c.c_protocols <- protocols;
   c.c_produced <- c.c_produced + 1;
   c.c_occ <- c.c_occ + 1;
@@ -177,8 +188,8 @@ let produce ?(protocols = []) ?(round = -1) ?(dst = "") ~src ~firing channel =
    producer did not know its destination. *)
 let consume ?by channel =
   let ts = Trace.now_us () in
-  locked @@ fun () ->
-  let c = chan_of channel in
+  with_sink @@ fun sink ->
+  let c = chan_of sink channel in
   c.c_consumed <- c.c_consumed + 1;
   if c.c_occ > 0 then c.c_occ <- c.c_occ - 1;
   timeline_push c ts c.c_occ;
@@ -201,11 +212,59 @@ let consume ?by channel =
       | _ -> ());
       Some prov
 
-let dropped () = locked (fun () -> sink.dropped)
+(* Merge [src]'s per-channel statistics into [into]: produced/consumed
+   counts and occupancy add, high-water marks keep the max (ties keep
+   the earliest round, so merging is order-independent).  Token rings
+   and pending FIFOs are not migrated — matching across sinks would
+   fabricate causality the sinks never observed.  Physically-equal
+   sinks are skipped: forked contexts alias their parent's token sink. *)
+let merge ~into src =
+  if src != into then begin
+    let stats =
+      Mutex.lock src.lock;
+      let s =
+        List.rev_map
+          (fun name ->
+            let c = Hashtbl.find src.channels name in
+            ( name,
+              c.c_produced,
+              c.c_consumed,
+              c.c_occ,
+              c.c_hwm,
+              c.c_hwm_round,
+              c.c_protocols ))
+          src.channel_names
+      in
+      Mutex.unlock src.lock;
+      s
+    in
+    let drop =
+      Mutex.lock src.lock;
+      let d = src.dropped in
+      Mutex.unlock src.lock;
+      d
+    in
+    Mutex.lock into.lock;
+    into.dropped <- into.dropped + drop;
+    List.iter
+      (fun (name, produced, consumed, occ, hwm, hwm_round, protocols) ->
+        let c = chan_of into name in
+        if protocols <> [] && c.c_protocols = [] then c.c_protocols <- protocols;
+        c.c_produced <- c.c_produced + produced;
+        c.c_consumed <- c.c_consumed + consumed;
+        c.c_occ <- c.c_occ + occ;
+        if hwm > c.c_hwm || (hwm = c.c_hwm && hwm_round < c.c_hwm_round) then (
+          c.c_hwm <- hwm;
+          c.c_hwm_round <- hwm_round))
+      stats;
+    Mutex.unlock into.lock
+  end
+
+let dropped () = with_sink (fun sink -> sink.dropped)
 
 (* Oldest first. *)
 let tokens () =
-  locked @@ fun () ->
+  with_sink @@ fun sink ->
   let start = sink.next_id mod max_tokens in
   let rec collect i acc =
     if i = max_tokens then List.rev acc
@@ -217,7 +276,7 @@ let tokens () =
   collect 0 []
 
 let channels () =
-  locked @@ fun () ->
+  with_sink @@ fun sink ->
   List.map
     (fun name ->
       let c = Hashtbl.find sink.channels name in
@@ -233,7 +292,7 @@ let channels () =
     (List.sort String.compare sink.channel_names)
 
 let occupancy_timeline channel =
-  locked @@ fun () ->
+  with_sink @@ fun sink ->
   match Hashtbl.find_opt sink.channels channel with
   | None -> []
   | Some c -> List.rev c.c_timeline

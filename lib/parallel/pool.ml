@@ -77,13 +77,41 @@ let with_pool ?domains f =
 
 (* The parallel core: run [n] indexed tasks across the pool, the owner
    helping, and return after all have finished.  [run_task i] must
-   confine its effects to state owned by index [i]. *)
+   confine its effects to state owned by index [i].
+
+   Telemetry: each participating domain gets a lazily-forked child of
+   the submitter's current context, so workers record spans and
+   counters without contending on (or interleaving into) the parent's
+   sinks.  When the batch completes, the children are merged back —
+   Context.merge is commutative, so the result is deterministic no
+   matter which domains picked up which tasks.  Child spans are rooted
+   under the span that was open at submission, giving `-j` runs one
+   coherent trace tree. *)
 let run_batch t n run_task =
+  let parent_ctx = Obs.Context.current () in
+  let root_parent = Obs.Trace.innermost () in
+  let children : (int, Obs.Context.t) Hashtbl.t = Hashtbl.create 8 in
+  let children_lock = Mutex.create () in
+  let child_for_domain () =
+    let d = domain_id () in
+    Mutex.lock children_lock;
+    let ctx =
+      match Hashtbl.find_opt children d with
+      | Some c -> c
+      | None ->
+          let c = Obs.Context.fork ~root_parent parent_ctx in
+          Hashtbl.add children d c;
+          c
+    in
+    Mutex.unlock children_lock;
+    ctx
+  in
   let remaining = ref n in (* guarded by t.lock *)
   let task i () =
-    run_task i;
-    Obs.Metrics.incr "pool.tasks";
-    Obs.Metrics.incr (Printf.sprintf "pool.tasks.d%d" (domain_id ()));
+    Obs.Context.with_current (child_for_domain ()) (fun () ->
+        run_task i;
+        Obs.Metrics.incr "pool.tasks";
+        Obs.Metrics.incr (Printf.sprintf "pool.tasks.d%d" (domain_id ())));
     Mutex.lock t.lock;
     decr remaining;
     if !remaining = 0 then Condition.broadcast t.batch_done;
@@ -109,7 +137,13 @@ let run_batch t n run_task =
         done;
         Mutex.unlock t.lock
   in
-  help ()
+  help ();
+  (* All tasks are done and their writes are visible (the remaining
+     counter was observed under the mutex), so the children table is
+     quiescent: fold the per-domain contexts back into the parent. *)
+  let kids = Hashtbl.fold (fun d c acc -> (d, c) :: acc) children [] in
+  let kids = List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) kids) in
+  if kids <> [] then Obs.Context.merge ~into:parent_ctx kids
 
 (* A batch is sequential when the pool has no workers (size <= 1 or
    already shut down) or when called from inside one of this pool's own

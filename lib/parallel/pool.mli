@@ -22,7 +22,14 @@
     The pool reports into the {!Umlfront_obs.Metrics} registry:
     [pool.domains] (gauge), [pool.maps] / [pool.tasks] (counters) and
     [pool.tasks.d<i>] (tasks executed by domain [i]), which is how pool
-    occupancy shows up in [umlfront stats]. *)
+    occupancy shows up in [umlfront stats].
+
+    Telemetry contexts: during a batch each participating domain
+    records into a forked child of the submitter's current
+    {!Umlfront_obs.Context}, and the children are merged back
+    (commutatively, hence deterministically) when the batch completes.
+    Worker spans are rooted under the span open at submission, so
+    parallel runs export one coherent trace tree. *)
 
 type t
 

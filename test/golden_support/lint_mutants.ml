@@ -213,6 +213,17 @@ let crane_trace () =
     (Umlfront_dataflow.Sdf.of_model (crane_caam ()))
   ^ "\n"
 
+(* The crane flow's span tree with timings scrubbed: the tree *shape*
+   (span names, categories, nesting under flow.run) is deterministic
+   for a given model even though the measured numbers never are, so the
+   structure is pinnable byte-for-byte.  Runs inside its own telemetry
+   context so generating goldens never perturbs the global sinks. *)
+let crane_spans () =
+  let ctx = Obs.Context.create ~trace:true () in
+  ignore (Core.Flow.run ~ctx (crane ()));
+  Obs.Context.with_current ctx (fun () ->
+      Obs.Span_tree.render ~timings:false (Obs.Trace.events ()))
+
 (* The renderable golden files, keyed by file name under test/golden/;
    golden_gen.exe prints one of these, the dune diff rules pin each
    byte-for-byte. *)
@@ -228,6 +239,7 @@ let goldens =
     ( "crane_defects.lint.json",
       fun () -> json_report ~file:"crane_defects" (defect_report ()) );
     ("crane.trace.json", crane_trace);
+    ("crane.spans.txt", crane_spans);
   ]
 
 let golden_names = List.map fst goldens
