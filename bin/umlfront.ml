@@ -84,6 +84,19 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+(* `--engine seq|compiled`: which executor runs the SDF graph — the
+   reference interpreter or the compiled flat-schedule one. *)
+let engine_arg =
+  let doc =
+    "SDF execution engine: $(b,seq) (the reference interpreter) or \
+     $(b,compiled) (the compiled flat-schedule executor; work-stealing \
+     when -j > 1).  Results are bit-identical either way."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("seq", `Seq); ("compiled", `Compiled) ]) `Seq
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 (* Run [f] with a domain pool of the requested size ([0] = hardware
    cores), shut down afterwards.  jobs <= 1 skips pool creation. *)
 let with_jobs jobs f =
@@ -287,11 +300,16 @@ let allocate_cmd =
         $ uml_arg $ dot_arg))
 
 let simulate_cmd =
-  let action path strategy cpus rounds csv gantt jobs token_json token_dot =
+  let action path strategy cpus rounds csv gantt jobs engine token_json token_dot =
     if token_json <> None || token_dot <> None then Obs.Telemetry.enable ();
     let output = run_flow path strategy cpus in
     let sdf = Dataflow.Sdf.of_model output.Core.Flow.caam in
-    let outcome = with_jobs jobs (fun pool -> Dataflow.Exec.run ?pool ~rounds sdf) in
+    let outcome =
+      with_jobs jobs (fun pool ->
+          match engine with
+          | `Seq -> Dataflow.Exec.run ?pool ~rounds sdf
+          | `Compiled -> Dataflow.Compiled.run ?pool ~rounds sdf)
+    in
     if csv then print_string (Dataflow.Trace_export.traces_csv outcome)
     else
       List.iter
@@ -339,11 +357,13 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Map and execute the CAAM on the SDF simulator")
     Term.(
       term_result'
-        (const (fun path strategy cpus rounds csv gantt jobs token_json token_dot ->
+        (const
+           (fun path strategy cpus rounds csv gantt jobs engine token_json token_dot ->
              protect (fun () ->
-                 action path strategy cpus rounds csv gantt jobs token_json token_dot))
+                 action path strategy cpus rounds csv gantt jobs engine token_json
+                   token_dot))
         $ uml_arg $ strategy_arg $ cpus_arg $ rounds_arg $ csv_arg $ gantt_arg
-        $ jobs_arg $ token_json_arg $ token_dot_arg))
+        $ jobs_arg $ engine_arg $ token_json_arg $ token_dot_arg))
 
 let codegen_cmd =
   let action path strategy cpus rounds dir lang =
@@ -795,7 +815,8 @@ let conform_format_arg =
 (* `--backends seq,par,kpn,c,kpn-src` (default: all). *)
 let backends_arg =
   let doc =
-    "Comma-separated backends to check: seq, par, kpn, c, kpn-src (default: all)."
+    "Comma-separated backends to check: seq, par, compiled, kpn, c, kpn-src \
+     (default: all)."
   in
   Arg.(value & opt (some string) None & info [ "backends" ] ~docv:"LIST" ~doc)
 
@@ -812,7 +833,7 @@ let parse_backends = function
 
 let conform_cmd =
   let module Conf = Umlfront_conformance.Conform in
-  let action path backends rounds strategy cpus jobs format =
+  let action path backends engine rounds strategy cpus jobs format =
     let backends = parse_backends backends in
     (* A .mdl input is checked as-is — that is how a fuzz-corpus
        minimized counterexample reproduces faithfully, without the
@@ -823,7 +844,7 @@ let conform_cmd =
       else (run_flow path strategy cpus).Core.Flow.caam
     in
     let report =
-      with_jobs jobs (fun pool -> Conf.check ?backends ~rounds ?pool caam)
+      with_jobs jobs (fun pool -> Conf.check ?backends ~engine ~rounds ?pool caam)
     in
     (match format with
     | `Text -> print_string (Conf.render report)
@@ -838,20 +859,21 @@ let conform_cmd =
     (Cmd.info "conform"
        ~doc:
          "Differential conformance check: run the model through every backend \
-          (sequential, parallel, KPN, generated C, emitted KPN source) and diff \
-          the traces against the SDF reference executor; exit non-zero on \
-          disagreement")
+          (sequential, parallel, compiled, KPN, generated C, emitted KPN source) \
+          and diff the traces against the SDF reference executor; exit non-zero \
+          on disagreement")
     Term.(
       term_result'
-        (const (fun path backends rounds strategy cpus jobs format ->
-             protect (fun () -> action path backends rounds strategy cpus jobs format))
-        $ model_arg $ backends_arg $ rounds_arg $ strategy_arg $ cpus_arg $ jobs_arg
-        $ conform_format_arg))
+        (const (fun path backends engine rounds strategy cpus jobs format ->
+             protect (fun () ->
+                 action path backends engine rounds strategy cpus jobs format))
+        $ model_arg $ backends_arg $ engine_arg $ rounds_arg $ strategy_arg $ cpus_arg
+        $ jobs_arg $ conform_format_arg))
 
 let fuzz_cmd =
   let module Conf = Umlfront_conformance.Conform in
   let module Fuzz = Umlfront_conformance.Fuzz in
-  let action seed count backends rounds shrink corpus =
+  let action seed count backends engine rounds shrink corpus =
     let backends = parse_backends backends in
     let progress (c : Fuzz.case) =
       let verdict =
@@ -865,7 +887,7 @@ let fuzz_cmd =
         c.Fuzz.case_seed verdict
     in
     let outcome =
-      Fuzz.run ?backends ~rounds ~shrink ~corpus ~progress ~seed ~count ()
+      Fuzz.run ?backends ~engine ~rounds ~shrink ~corpus ~progress ~seed ~count ()
     in
     Printf.printf "checked %d model(s), skipped %d, %d disagreement(s)\n"
       outcome.Fuzz.checked outcome.Fuzz.skipped
@@ -917,9 +939,10 @@ let fuzz_cmd =
           exit non-zero on disagreement")
     Term.(
       term_result'
-        (const (fun seed count backends rounds shrink corpus ->
-             protect (fun () -> action seed count backends rounds shrink corpus))
-        $ seed_arg $ count_arg $ backends_arg $ rounds_arg $ shrink_arg $ corpus_arg))
+        (const (fun seed count backends engine rounds shrink corpus ->
+             protect (fun () -> action seed count backends engine rounds shrink corpus))
+        $ seed_arg $ count_arg $ backends_arg $ engine_arg $ rounds_arg $ shrink_arg
+        $ corpus_arg))
 
 let () =
   (* -v/--verbose (repeatable) turns on Logs reporting to stderr. *)

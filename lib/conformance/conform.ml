@@ -3,19 +3,21 @@ module B = Umlfront_simulink.Block
 module Model = Umlfront_simulink.Model
 module Sdf = Umlfront_dataflow.Sdf
 module Exec = Umlfront_dataflow.Exec
+module Compiled = Umlfront_dataflow.Compiled
 module Kpn = Umlfront_dataflow.Kpn
 module Gen_threads = Umlfront_codegen.Gen_threads
 module Gen_kpn = Umlfront_codegen.Gen_kpn
 module Pool = Umlfront_parallel.Pool
 module Obs = Umlfront_obs
 
-type backend = Seq | Par | Kpn | C | Kpn_src
+type backend = Seq | Par | Compiled_exec | Kpn | C | Kpn_src
 
-let all_backends = [ Seq; Par; Kpn; C; Kpn_src ]
+let all_backends = [ Seq; Par; Compiled_exec; Kpn; C; Kpn_src ]
 
 let backend_name = function
   | Seq -> "seq"
   | Par -> "par"
+  | Compiled_exec -> "compiled"
   | Kpn -> "kpn"
   | C -> "c"
   | Kpn_src -> "kpn-src"
@@ -23,13 +25,28 @@ let backend_name = function
 let backend_of_string = function
   | "seq" -> Ok Seq
   | "par" -> Ok Par
+  | "compiled" -> Ok Compiled_exec
   | "kpn" -> Ok Kpn
   | "c" -> Ok C
   | "kpn-src" | "kpn_src" -> Ok Kpn_src
   | other ->
       Error
-        (Printf.sprintf "unknown backend %S (expected seq, par, kpn, c or kpn-src)"
-           other)
+        (Printf.sprintf
+           "unknown backend %S (expected seq, par, compiled, kpn, c or kpn-src)" other)
+
+(* Which executor produces the reference traces every backend is
+   diffed against.  [`Seq] is [Exec.run]; [`Compiled] is the compiled
+   flat interpreter run sequentially — selecting it turns every
+   conformance check (and the fuzzer) into a differential test of the
+   compiled executor against all the other backends. *)
+type engine = [ `Seq | `Compiled ]
+
+let engine_name = function `Seq -> "seq" | `Compiled -> "compiled"
+
+let engine_of_string = function
+  | "seq" -> Ok `Seq
+  | "compiled" -> Ok `Compiled
+  | other -> Error (Printf.sprintf "unknown engine %S (expected seq or compiled)" other)
 
 (* Where the first divergent token came from: the block that produced
    it, on which firing, over which channel.  Computed from the SDF
@@ -135,6 +152,16 @@ let par_traces ?pool ~rounds sdf =
   | Some p -> (Exec.run ~pool:p ~rounds sdf).Exec.traces
   | None ->
       Pool.with_pool ~domains:2 (fun p -> (Exec.run ~pool:p ~rounds sdf).Exec.traces)
+
+(* The compiled backend runs the batched work-stealing engine — the
+   interesting path; the sequential flat interpreter is what [`Compiled]
+   as the {e reference} engine exercises. *)
+let compiled_traces ?pool ~rounds sdf =
+  match pool with
+  | Some p -> (Compiled.run ~pool:p ~rounds sdf).Exec.traces
+  | None ->
+      Pool.with_pool ~domains:2 (fun p ->
+          (Compiled.run ~pool:p ~rounds sdf).Exec.traces)
 
 (* The KPN network as emitted by [Kpn.of_sdf], but with every
    top-level Outport process replaced by a sink that records one
@@ -317,6 +344,7 @@ let kpn_src_verdict ~rounds m sdf =
 
 let tolerance = function
   | Seq | Par -> 0.0 (* re-run of the same executor: bit-identical *)
+  | Compiled_exec -> 0.0 (* compiled interpreter replicates Exec bit for bit *)
   | Kpn -> 1e-9
   | C -> 1e-6 (* the C program prints %.9f *)
   | Kpn_src -> 0.0
@@ -327,7 +355,8 @@ let apply_corrupt corrupt backend traces =
       List.map (fun (port, arr) -> (port, Array.map f arr)) traces
   | _ -> traces
 
-let check ?(backends = all_backends) ?(rounds = 10) ?pool ?corrupt ?ctx (m : Model.t) =
+let check ?(backends = all_backends) ?(engine = `Seq) ?(rounds = 10) ?pool ?corrupt ?ctx
+    (m : Model.t) =
   (match ctx with Some c -> Obs.Context.with_current c | None -> fun f -> f ())
   @@ fun () ->
   Obs.Trace.with_span ~cat:"conform" "conform.check"
@@ -335,11 +364,16 @@ let check ?(backends = all_backends) ?(rounds = 10) ?pool ?corrupt ?ctx (m : Mod
       [
         ("model", Obs.Json.String m.Model.model_name);
         ("rounds", Obs.Json.Int rounds);
+        ("engine", Obs.Json.String (engine_name engine));
       ])
   @@ fun () ->
   let sdf = Sdf.of_model m in
   (* The reference must execute; its exceptions propagate. *)
-  let reference = seq_traces ~rounds sdf in
+  let reference =
+    match engine with
+    | `Seq -> seq_traces ~rounds sdf
+    | `Compiled -> (Compiled.run ~rounds sdf).Exec.traces
+  in
   let outputs = sdf.Sdf.graph_outputs in
   let traced backend produce =
     match produce () with
@@ -360,6 +394,7 @@ let check ?(backends = all_backends) ?(rounds = 10) ?pool ?corrupt ?ctx (m : Mod
     match backend with
     | Seq -> traced Seq (fun () -> seq_traces ~rounds sdf)
     | Par -> traced Par (fun () -> par_traces ?pool ~rounds sdf)
+    | Compiled_exec -> traced Compiled_exec (fun () -> compiled_traces ?pool ~rounds sdf)
     | Kpn -> traced Kpn (fun () -> kpn_traces ~rounds sdf)
     | C ->
         if not (have_cc ()) then Backend_unavailable "no C compiler (cc) on PATH"

@@ -13,6 +13,9 @@
     - [Seq]: {!Umlfront_dataflow.Exec.run}, sequential — the reference
       itself (diffing it against itself is the engine's self-test);
     - [Par]: level-parallel [Exec.run ?pool] on a domain pool;
+    - [Compiled_exec]: the compiled flat-schedule interpreter
+      ({!Umlfront_dataflow.Compiled.run}) on its batched work-stealing
+      engine — expected bit-identical to the reference;
     - [Kpn]: the in-memory Kahn process network ({!Umlfront_dataflow.Kpn.of_sdf})
       with per-round collecting sinks spliced over the Outports;
     - [C]: the generated multithreaded C program, compiled with [cc]
@@ -22,13 +25,25 @@
       structurally (channel constants, embedded model round-trip,
       output filter) rather than executed. *)
 
-type backend = Seq | Par | Kpn | C | Kpn_src
+type backend = Seq | Par | Compiled_exec | Kpn | C | Kpn_src
 
 val all_backends : backend list
 val backend_name : backend -> string
 
 val backend_of_string : string -> (backend, string) result
-(** Accepts [seq], [par], [kpn], [c] and [kpn-src]. *)
+(** Accepts [seq], [par], [compiled], [kpn], [c] and [kpn-src]. *)
+
+type engine = [ `Seq | `Compiled ]
+(** Which executor produces the reference traces: [`Seq] is
+    {!Umlfront_dataflow.Exec.run}, [`Compiled] the compiled flat
+    interpreter run sequentially.  Checking with [`Compiled] turns the
+    whole differential harness — including the fuzzer — against the
+    compiled executor. *)
+
+val engine_name : engine -> string
+
+val engine_of_string : string -> (engine, string) result
+(** Accepts [seq] and [compiled]. *)
 
 type token_provenance = {
   prov_block : string;  (** block that produced the divergent token *)
@@ -72,6 +87,7 @@ type report = {
 
 val check :
   ?backends:backend list ->
+  ?engine:engine ->
   ?rounds:int ->
   ?pool:Umlfront_parallel.Pool.t ->
   ?corrupt:backend * (float -> float) ->
@@ -79,8 +95,9 @@ val check :
   Umlfront_simulink.Model.t ->
   report
 (** Run the model through [backends] (default {!all_backends}) for
-    [rounds] (default 10) and diff each against the reference.  [Par]
-    uses [pool] when given, else a temporary 2-domain pool.
+    [rounds] (default 10) and diff each against the reference traces
+    produced by [engine] (default [`Seq]).  [Par] and [Compiled_exec]
+    use [pool] when given, else a temporary 2-domain pool.
 
     [corrupt] is the test-only defect hook: the given function is
     applied to every trace sample the named backend produces before

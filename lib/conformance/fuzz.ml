@@ -96,8 +96,8 @@ let write_corpus ~corpus ~rounds ~seed ~count (case : case) minimized =
        case.case_seed seed count);
   dir
 
-let run ?backends ?(rounds = 10) ?(shrink = true) ?corpus ?corrupt ?progress ?ctx ~seed
-    ~count () =
+let run ?backends ?engine ?(rounds = 10) ?(shrink = true) ?corpus ?corrupt ?progress ?ctx
+    ~seed ~count () =
   (match ctx with Some c -> Obs.Context.with_current c | None -> fun f -> f ())
   @@ fun () ->
   Obs.Trace.with_span ~cat:"conform" "conform.fuzz" @@ fun () ->
@@ -115,7 +115,7 @@ let run ?backends ?(rounds = 10) ?(shrink = true) ?corpus ?corrupt ?progress ?ct
         with
         | None | (exception Invalid_argument _) -> incr skipped
         | Some caam ->
-            let report = Conform.check ?backends ~rounds ~pool ?corrupt caam in
+            let report = Conform.check ?backends ?engine ~rounds ~pool ?corrupt caam in
             incr checked;
             let case = { index; case_seed; shape; uml; caam; report } in
             (match progress with Some f -> f case | None -> ());
@@ -126,7 +126,8 @@ let run ?backends ?(rounds = 10) ?(shrink = true) ?corpus ?corrupt ?progress ?ct
                   let repro m =
                     not
                       (Conform.agree
-                         (Conform.check ~backends:failing ~rounds ~pool ?corrupt m))
+                         (Conform.check ~backends:failing ?engine ~rounds ~pool ?corrupt
+                            m))
                   in
                   let m, stats = Shrink.minimize ~repro caam in
                   (m, Some stats))

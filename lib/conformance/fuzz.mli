@@ -34,6 +34,7 @@ type outcome = {
 
 val run :
   ?backends:Conform.backend list ->
+  ?engine:Conform.engine ->
   ?rounds:int ->
   ?shrink:bool ->
   ?corpus:string ->
@@ -55,8 +56,10 @@ val run :
 
     [corrupt] is forwarded to every {!Conform.check} (including the
     shrinker's repro), so the test suite can fuzz against a
-    deliberately broken backend.  [progress] is called after each
-    checked case.
+    deliberately broken backend.  [engine] selects the reference
+    executor the same way (default [`Seq]; [`Compiled] fuzzes the
+    compiled flat interpreter as the reference).  [progress] is called
+    after each checked case.
 
     Instrumented: a [conform.fuzz] span plus [conform.fuzz.cases],
     [conform.fuzz.skipped] and [conform.fuzz.failures] counters. *)

@@ -84,3 +84,29 @@ val behaviour :
     [Inport]/[Outport] and structural blocks are the scheduler's
     business.
     @raise Invalid_argument on those stateful/structural kinds. *)
+
+(** {1 Shared executor ingredients}
+
+    Exported so alternative executors (notably {!Compiled}) replicate
+    the reference semantics from the {e same} definitions instead of
+    re-deriving them — any drift would show up as a conformance
+    divergence, so there must be exactly one source of truth. *)
+
+val param_float : Umlfront_simulink.System.block -> string -> float -> float
+(** [param_float blk key fallback]: the block parameter as a float,
+    with the reference executor's coercions (int and numeric-string
+    parameters convert; anything else is [fallback]). *)
+
+val sum_signs : Umlfront_simulink.System.block -> int -> float list
+(** Per-input sign (+1.0/-1.0) of a [Sum] block from its ["Inputs"]
+    spec, defaulting to all-plus when the spec is absent or does not
+    match the input count. *)
+
+val default_stimulus : string -> int -> float
+(** The default Inport stimulus: [sin] of the round, phase-shifted per
+    port name. *)
+
+val channel_metrics : Sdf.t -> int -> unit
+(** Record per-protocol channel occupancy gauges and token counters
+    ([exec.channel_occupancy.*], [exec.tokens.*]) for [rounds] executed
+    rounds of [sdf] — one token per edge per round. *)

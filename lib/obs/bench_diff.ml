@@ -6,8 +6,20 @@
    - umlfront-bench-obs/1: per case (matched by name), blocks/s parsed
      and actor firings/s — higher is better;
    - umlfront-bench-parallel/1: per sweep point (matched by section and
-     domain count), wall-clock ms — lower is better — plus the
-     parallel-determinism flag, which must not turn false.
+     domain count), wall-clock ms — lower is better — and self-scaling
+     speedup — higher is better — plus the parallel-determinism flag,
+     which must not turn false;
+   - umlfront-bench-exec-compiled/1: the compiled executor against the
+     sequential reference — speedup_vs_seq per domain count (higher is
+     better), wall-clock ms, and the bit-identity flag.
+
+   Multi-domain timing findings are hardware-gated: both documents
+   record [hardware_domains] (what the runner actually had), and a
+   sweep point asking for more domains than either side could provide
+   is skipped — an under-provisioned CI runner cannot demonstrate a
+   speedup, so the gate must not fail it for the hardware it lacks.
+   Bit-identity flags and 1-domain metrics are never skipped; documents
+   written before [hardware_domains] existed are not gated at all.
 
    A metric regresses when it moves past [tolerance] percent in its
    bad direction.  Improvements and in-tolerance noise never fail:
@@ -95,49 +107,101 @@ let obs_findings ~tolerance base current =
   in
   case_findings @ ctx_findings
 
+(* --- hardware gating ------------------------------------------------- *)
+
+(* Can a sweep point at [domains] be judged on these two documents?
+   Only when every side that records its hardware actually had that
+   many domains — otherwise the measurement says nothing about the
+   code.  1-domain points are always judged. *)
+let provisioned ~base ~current domains =
+  domains <= 1
+  || List.for_all
+       (fun doc ->
+         match member_num "hardware_domains" doc with
+         | Some hw -> int_of_float hw >= domains
+         | None -> true (* pre-gating document: keep the old behaviour *))
+       [ base; current ]
+
+let identical_finding label old cur =
+  match (Json.member "identical" old, Json.member "identical" cur) with
+  | Some (Json.Bool true), Some (Json.Bool false) ->
+      [
+        {
+          f_metric = label ^ ".identical";
+          f_base = 1.0;
+          f_current = 0.0;
+          f_delta_pct = -100.0;
+          f_direction = Higher_better;
+          f_regression = true;
+        };
+      ]
+  | _ -> []
+
+let num_finding ~tolerance ~direction key label old cur =
+  match (member_num key old, member_num key cur) with
+  | Some b, Some c -> [ finding ~tolerance ~direction (label ^ "." ^ key) b c ]
+  | _ -> []
+
+let sweep_rows section doc =
+  match Option.bind (Json.member section doc) (Json.member "sweeps") with
+  | Some l ->
+      List.filter_map
+        (fun row ->
+          Option.map (fun d -> (int_of_float d, row)) (member_num "domains" row))
+        (Json.items l)
+  | None -> []
+
 (* --- umlfront-bench-parallel/1 -------------------------------------- *)
 
 let parallel_findings ~tolerance base current =
-  let sweeps section doc =
-    match Option.bind (Json.member section doc) (Json.member "sweeps") with
-    | Some l ->
-        List.filter_map
-          (fun row ->
-            Option.map (fun d -> (int_of_float d, row)) (member_num "domains" row))
-          (Json.items l)
-    | None -> []
-  in
   let per_section section =
-    let base_rows = sweeps section base in
+    let base_rows = sweep_rows section base in
     List.concat_map
       (fun (domains, cur) ->
         match List.assoc_opt domains base_rows with
         | None -> []
-        | Some old -> (
+        | Some old ->
             let label = Printf.sprintf "%s.%dd" section domains in
-            let ms =
-              match (member_num "ms" old, member_num "ms" cur) with
-              | Some b, Some c ->
-                  [ finding ~tolerance ~direction:Lower_better (label ^ ".ms") b c ]
-              | _ -> []
-            in
-            match (Json.member "identical" old, Json.member "identical" cur) with
-            | Some (Json.Bool true), Some (Json.Bool false) ->
-                ms
-                @ [
-                    {
-                      f_metric = label ^ ".identical";
-                      f_base = 1.0;
-                      f_current = 0.0;
-                      f_delta_pct = -100.0;
-                      f_direction = Higher_better;
-                      f_regression = true;
-                    };
-                  ]
-            | _ -> ms))
-      (sweeps section current)
+            (* Timing and speedup say nothing on a machine without the
+               domains; bit-identity must hold on any machine. *)
+            (if provisioned ~base ~current domains then
+               num_finding ~tolerance ~direction:Lower_better "ms" label old cur
+               @ num_finding ~tolerance ~direction:Higher_better "speedup" label old
+                   cur
+             else [])
+            @ identical_finding label old cur)
+      (sweep_rows section current)
   in
   per_section "dse" @ per_section "exec"
+
+(* --- umlfront-bench-exec-compiled/1 ---------------------------------- *)
+
+let exec_compiled_findings ~tolerance base current =
+  let seq_ms =
+    num_finding ~tolerance ~direction:Lower_better "exec_seq_ms" "exec" base current
+  in
+  let base_rows = sweep_rows "compiled" base in
+  let rows =
+    List.concat_map
+      (fun (domains, cur) ->
+        match List.assoc_opt domains base_rows with
+        | None -> []
+        | Some old ->
+            let label = Printf.sprintf "compiled.%dd" domains in
+            (* speedup_vs_seq at 1 domain is a hardware-independent
+               ratio of two sequential runs — the compiled-beats-
+               sequential gate proper — so it is never skipped. *)
+            (if provisioned ~base ~current domains then
+               num_finding ~tolerance ~direction:Lower_better "ms" label old cur
+               @ num_finding ~tolerance ~direction:Higher_better "speedup" label old
+                   cur
+               @ num_finding ~tolerance ~direction:Higher_better "speedup_vs_seq"
+                   label old cur
+             else [])
+            @ identical_finding label old cur)
+      (sweep_rows "compiled" current)
+  in
+  seq_ms @ rows
 
 (* --- entry points --------------------------------------------------- *)
 
@@ -149,6 +213,8 @@ let compare_docs ?(tolerance = default_tolerance) ~base ~current () =
   | Some "umlfront-bench-obs/1", _ -> Ok (obs_findings ~tolerance base current)
   | Some "umlfront-bench-parallel/1", _ ->
       Ok (parallel_findings ~tolerance base current)
+  | Some "umlfront-bench-exec-compiled/1", _ ->
+      Ok (exec_compiled_findings ~tolerance base current)
   | Some other, _ -> Error (Printf.sprintf "unknown bench schema %S" other)
 
 let regressions findings = List.filter (fun f -> f.f_regression) findings

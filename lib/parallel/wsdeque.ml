@@ -1,0 +1,69 @@
+(* Chase–Lev work-stealing deque (SPAA'05), fixed capacity, int items.
+
+   [bottom] is owned by the single pushing/popping domain; [top] is
+   shared with thieves.  The classic last-element race (owner popping
+   the same item a thief is stealing) is resolved by a compare-and-set
+   on [top] from both sides.  The buffer slots are atomics too: a slot
+   written by [push] is published by the subsequent [Atomic.set] on
+   [bottom], and making the slot itself atomic keeps every cross-domain
+   access data-race-free under the OCaml memory model without leaning
+   on array-element publication subtleties. *)
+
+type t = {
+  buf : int Atomic.t array;
+  mask : int;
+  top : int Atomic.t; (* next steal index *)
+  bottom : int Atomic.t; (* next push index *)
+}
+
+exception Full
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Wsdeque.create: capacity < 1";
+  let rec pow2 k = if k >= capacity then k else pow2 (k * 2) in
+  let size = pow2 1 in
+  {
+    buf = Array.init size (fun _ -> Atomic.make 0);
+    mask = size - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let reset t =
+  Atomic.set t.top 0;
+  Atomic.set t.bottom 0
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.mask then raise Full;
+  Atomic.set t.buf.(b land t.mask) v;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then (
+    (* already empty: undo *)
+    Atomic.set t.bottom tp;
+    None)
+  else if b > tp then Some (Atomic.get t.buf.(b land t.mask))
+  else
+    (* last element: race the thieves for it *)
+    let v = Atomic.get t.buf.(b land t.mask) in
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some v else None
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else
+    let v = Atomic.get t.buf.(tp land t.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some v else None

@@ -1,0 +1,40 @@
+(** A fixed-capacity Chase–Lev work-stealing deque of [int] items.
+
+    One domain — the {e owner} — pushes and pops at the bottom in LIFO
+    order; any other domain may {!steal} from the top concurrently.
+    This is the ready-queue primitive behind the compiled SDF
+    executor's work-stealing scheduler: items are dense node ids, so
+    the buffer is a preallocated array of atomics and the deque never
+    allocates after {!create}.
+
+    The capacity is fixed at creation (rounded up to a power of two);
+    {!push} raises [Full] beyond it instead of growing.  Callers that
+    can bound their total pushes (a static schedule can) never hit it. *)
+
+type t
+
+exception Full
+
+val create : capacity:int -> t
+(** A deque holding at most [capacity] items (rounded up to a power of
+    two).  @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val push : t -> int -> unit
+(** Owner only.  @raise Full at capacity. *)
+
+val pop : t -> int option
+(** Owner only: newest item, or [None] when empty. *)
+
+val steal : t -> int option
+(** Any domain: oldest item.  [None] means empty {e or} the steal lost
+    a race — callers treat both as "try elsewhere / again". *)
+
+val reset : t -> unit
+(** Empty the deque.  Only safe when no other domain is accessing it
+    (e.g. between synchronization points of a batched schedule). *)
+
+val size : t -> int
+(** Snapshot of the current item count (racy under concurrency;
+    exact when quiescent). *)

@@ -5,5 +5,5 @@ let () =
    @ Test_codegen.suite @ Test_blocks.suite @ Test_core.suite @ Test_extensions.suite @ Test_roundtrip.suite @ Test_robustness.suite @ Test_coverage.suite
    @ Test_integration.suite @ Test_obs.suite @ Test_telemetry.suite
    @ Test_trace_export.suite
-   @ Test_parallel.suite @ Test_context.suite @ Test_analysis.suite
+   @ Test_parallel.suite @ Test_compiled.suite @ Test_context.suite @ Test_analysis.suite
    @ Test_conformance.suite)

@@ -402,6 +402,105 @@ let bench_diff_parallel_schema () =
   | [ f ] -> check Alcotest.string "metric" "exec.2d.identical" f.BD.f_metric
   | l -> Alcotest.failf "expected the identical-flag regression, got %d" (List.length l)
 
+(* A parallel doc that records how many domains the runner had. *)
+let parallel_bench_doc_hw ~hw ~ms ~identical =
+  match parallel_bench_doc ~ms ~identical with
+  | Json.Obj fields -> Json.Obj (("hardware_domains", Json.Int hw) :: fields)
+  | _ -> assert false
+
+(* Timing at 2 domains is only judged when both runners had 2 domains;
+   the bit-identity flag is judged regardless.  An under-provisioned CI
+   runner must leave the gate inert rather than failing it. *)
+let bench_diff_skips_underprovisioned_sweeps () =
+  let module BD = Obs.Bench_diff in
+  let diff ~base ~current =
+    match BD.compare_docs ~base ~current () with
+    | Ok findings -> BD.regressions findings
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.int "1-core runner: 2-domain slowdown not judged" 0
+    (List.length
+       (diff
+          ~base:(parallel_bench_doc_hw ~hw:1 ~ms:100.0 ~identical:true)
+          ~current:(parallel_bench_doc_hw ~hw:1 ~ms:500.0 ~identical:true)));
+  check Alcotest.int "either side under-provisioned skips too" 0
+    (List.length
+       (diff
+          ~base:(parallel_bench_doc_hw ~hw:4 ~ms:100.0 ~identical:true)
+          ~current:(parallel_bench_doc_hw ~hw:1 ~ms:500.0 ~identical:true)));
+  (match
+     diff
+       ~base:(parallel_bench_doc_hw ~hw:4 ~ms:100.0 ~identical:true)
+       ~current:(parallel_bench_doc_hw ~hw:4 ~ms:500.0 ~identical:true)
+   with
+  | [ f ] -> check Alcotest.string "provisioned runner is judged" "exec.2d.ms" f.BD.f_metric
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  match
+    diff
+      ~base:(parallel_bench_doc_hw ~hw:1 ~ms:100.0 ~identical:true)
+      ~current:(parallel_bench_doc_hw ~hw:1 ~ms:100.0 ~identical:false)
+  with
+  | [ f ] ->
+      check Alcotest.string "identity judged even under-provisioned"
+        "exec.2d.identical" f.BD.f_metric
+  | l -> Alcotest.failf "expected the identical-flag regression, got %d" (List.length l)
+
+let exec_compiled_doc ~hw ~vs_seq_1d ~ms_2d ~identical =
+  let sweep domains ms speedup vs_seq =
+    Json.Obj
+      [
+        ("domains", Json.Int domains);
+        ("ms", Json.Float ms);
+        ("speedup", Json.Float speedup);
+        ("speedup_vs_seq", Json.Float vs_seq);
+        ("identical", Json.Bool identical);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "umlfront-bench-exec-compiled/1");
+      ("hardware_domains", Json.Int hw);
+      ("exec_seq_ms", Json.Float 100.0);
+      ( "compiled",
+        Json.Obj
+          [
+            ( "sweeps",
+              Json.List
+                [
+                  sweep 1 (100.0 /. vs_seq_1d) 1.0 vs_seq_1d;
+                  sweep 2 ms_2d ((100.0 /. vs_seq_1d) /. ms_2d) (100.0 /. ms_2d);
+                ] );
+          ] );
+    ]
+
+let bench_diff_exec_compiled_schema () =
+  let module BD = Obs.Bench_diff in
+  let base = exec_compiled_doc ~hw:1 ~vs_seq_1d:2.0 ~ms_2d:30.0 ~identical:true in
+  let diff current =
+    match BD.compare_docs ~base ~current () with
+    | Ok findings -> BD.regressions findings
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.int "steady numbers pass" 0
+    (List.length (diff (exec_compiled_doc ~hw:1 ~vs_seq_1d:2.0 ~ms_2d:30.0 ~identical:true)));
+  (* The compiled-over-sequential ratio at 1 domain is two sequential
+     runs on the same machine: judged even on a 1-core runner. *)
+  (match diff (exec_compiled_doc ~hw:1 ~vs_seq_1d:0.9 ~ms_2d:30.0 ~identical:true) with
+  | l ->
+      check Alcotest.bool "collapsed 1d vs-seq ratio regresses" true
+        (List.exists (fun f -> f.BD.f_metric = "compiled.1d.speedup_vs_seq") l));
+  (* 2-domain timing is hardware-gated like the parallel schema... *)
+  check Alcotest.int "1-core runner: 2-domain slowdown not judged" 0
+    (List.length
+       (List.filter
+          (fun f -> f.BD.f_metric = "compiled.2d.ms")
+          (diff (exec_compiled_doc ~hw:1 ~vs_seq_1d:2.0 ~ms_2d:300.0 ~identical:true))));
+  (* ...but the bit-identity flag never is. *)
+  match diff (exec_compiled_doc ~hw:1 ~vs_seq_1d:2.0 ~ms_2d:30.0 ~identical:false) with
+  | l ->
+      check Alcotest.bool "divergence regresses" true
+        (List.exists (fun f -> f.BD.f_metric = "compiled.2d.identical") l)
+
 let bench_diff_rejects_foreign_documents () =
   let module BD = Obs.Bench_diff in
   let expect_error ~base ~current hint =
@@ -443,6 +542,9 @@ let suite =
         test "journal ring wraps" journal_ring_wraps_and_counts_drops;
         test "bench-diff flags regressions" bench_diff_flags_regressions;
         test "bench-diff parallel schema" bench_diff_parallel_schema;
+        test "bench-diff skips under-provisioned sweeps"
+          bench_diff_skips_underprovisioned_sweeps;
+        test "bench-diff exec-compiled schema" bench_diff_exec_compiled_schema;
         test "bench-diff rejects foreign documents" bench_diff_rejects_foreign_documents;
       ] );
   ]
