@@ -870,6 +870,75 @@ let conform_cmd =
         $ model_arg $ backends_arg $ engine_arg $ rounds_arg $ strategy_arg $ cpus_arg
         $ jobs_arg $ conform_format_arg))
 
+let serve_cmd =
+  let module Server = Umlfront_serve.Server in
+  let action port pool cache_mb max_inflight timeout =
+    let config =
+      {
+        Server.default_config with
+        Server.port;
+        pool;
+        cache_mb;
+        max_inflight;
+        timeout_s = timeout;
+      }
+    in
+    let server = Server.start ~config () in
+    (* The bound port on stdout first, so `--port 0` scripts can read
+       it; everything after is human chatter. *)
+    Printf.printf "listening on http://127.0.0.1:%d\n%!" (Server.port server);
+    Printf.eprintf
+      "serve: %d worker domain(s), %d MiB cache, %d in-flight max, %gs \
+       timeout; Ctrl-C to stop\n\
+       %!"
+      pool cache_mb max_inflight timeout;
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_requested) do
+      try Unix.sleepf 0.2
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.eprintf "serve: shutting down\n%!";
+    Server.stop server
+  in
+  let port_arg =
+    let doc = "Port to listen on (0 picks an ephemeral port, printed on stdout)." in
+    Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let pool_arg =
+    let doc = "Worker domains handling requests (0 serves on the acceptor)." in
+    Arg.(value & opt int 2 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Response cache budget in MiB (0 disables caching)." in
+    Arg.(value & opt int 32 & info [ "cache-mb" ] ~docv:"N" ~doc)
+  in
+  let inflight_arg =
+    let doc =
+      "Admission-control bound: beyond $(docv) open connections the server \
+       answers 503 with Retry-After."
+    in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-request compute deadline in seconds (503 beyond it)." in
+    Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived compilation service: the whole flow as JSON-over-HTTP \
+          endpoints (/api/lint, /api/transform, /api/simulate, /api/conform, \
+          /api/generate/{c,java,kpn}) with a content-hash response cache, \
+          admission control and OpenMetrics telemetry on /metrics")
+    Term.(
+      term_result'
+        (const (fun port pool cache_mb max_inflight timeout ->
+             protect (fun () -> action port pool cache_mb max_inflight timeout))
+        $ port_arg $ pool_arg $ cache_arg $ inflight_arg $ timeout_arg))
+
 let fuzz_cmd =
   let module Conf = Umlfront_conformance.Conform in
   let module Fuzz = Umlfront_conformance.Fuzz in
@@ -1013,5 +1082,5 @@ let () =
             map_cmd; allocate_cmd; simulate_cmd; codegen_cmd; fsm_cmd; dse_cmd;
             partition_cmd; capture_cmd; example_cmd; audit_cmd; cosim_cmd;
             plantuml_cmd; report_cmd; stats_cmd; journal_cmd; bench_diff_cmd;
-            lint_cmd; conform_cmd; fuzz_cmd;
+            lint_cmd; conform_cmd; fuzz_cmd; serve_cmd;
           ]))

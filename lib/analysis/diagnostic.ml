@@ -79,4 +79,54 @@ let list_to_json ?file ds =
         ("diagnostics", Json.List (List.map to_json ds));
       ])
 
+(* --- decoding ------------------------------------------------------- *)
+
+(* The inverses of {!to_json}/{!list_to_json}, so a serving client (or
+   a test) can round-trip diagnostics through the wire format and prove
+   the CLI and the server speak the same JSON.  Decoding is strict
+   about shape but ignores unknown members, leaving room to add fields
+   without breaking old readers. *)
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let of_json json =
+  let str key = Option.bind (Json.member key json) (function
+    | Json.String s -> Some s
+    | _ -> None)
+  in
+  match (str "severity", str "code", str "path", str "message") with
+  | Some sev, Some code, Some path, Some message -> (
+      match severity_of_string sev with
+      | None -> Stdlib.Error (Printf.sprintf "unknown severity %S" sev)
+      | Some severity ->
+          Ok
+            {
+              severity;
+              code;
+              path = (if path = "" then [] else String.split_on_char '/' path);
+              message;
+              hint = str "hint";
+            })
+  | _ -> Stdlib.Error "diagnostic: missing severity/code/path/message"
+
+let list_of_json json =
+  let file =
+    match Json.member "file" json with Some (Json.String f) -> Some f | _ -> None
+  in
+  match Json.member "diagnostics" json with
+  | Some (Json.List ds) ->
+      let rec decode acc = function
+        | [] -> Ok (file, List.rev acc)
+        | d :: rest -> (
+            match of_json d with
+            | Ok d -> decode (d :: acc) rest
+            | Stdlib.Error msg -> Stdlib.Error msg)
+      in
+      decode [] ds
+  | _ -> Stdlib.Error "diagnostic list: missing \"diagnostics\" array"
+
 let pp ppf d = Format.pp_print_string ppf (to_line d)

@@ -50,4 +50,18 @@ val list_to_json : ?file:string -> t list -> Umlfront_obs.Json.t
 (** [{"file": ..., "errors": n, "warnings": n, "diagnostics": [...]}];
     the [file] field is present only when given. *)
 
+val severity_of_string : string -> severity option
+(** Inverse of {!severity_to_string}. *)
+
+val of_json : Umlfront_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json} — what lets a client of [umlfront serve]
+    round-trip a diagnostic through the wire format.  Unknown members
+    are ignored; missing required ones are an [Error]. *)
+
+val list_of_json :
+  Umlfront_obs.Json.t -> (string option * t list, string) result
+(** Inverse of {!list_to_json}: the optional [file] plus the decoded
+    diagnostics.  The [errors]/[warnings] counts are derivable and not
+    returned. *)
+
 val pp : Format.formatter -> t -> unit

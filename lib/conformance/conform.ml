@@ -514,3 +514,111 @@ let to_json report =
                        ] ))
              report.verdicts) );
     ]
+
+(* --- decoding -------------------------------------------------------- *)
+
+(* The inverses of {!to_json} and its helpers.  They exist so the wire
+   format of `umlfront conform --format json` (and the serving layer's
+   /api/conform, which emits the very same bytes) is provably
+   round-trippable: encode, decode, compare.  Strict on required
+   members, tolerant of unknown ones. *)
+
+let json_str key json =
+  match Obs.Json.member key json with
+  | Some (Obs.Json.String s) -> Some s
+  | _ -> None
+
+let json_int key json =
+  match Obs.Json.member key json with Some (Obs.Json.Int i) -> Some i | _ -> None
+
+let json_num key json = Option.bind (Obs.Json.member key json) Obs.Json.number
+
+let provenance_of_json json =
+  match
+    ( json_str "block" json,
+      json_int "firing" json,
+      json_str "channel" json,
+      Obs.Json.member "protocols" json )
+  with
+  | Some prov_block, Some prov_firing, Some prov_channel, Some (Obs.Json.List ps) ->
+      let protocols =
+        List.filter_map
+          (function Obs.Json.String s -> Some s | _ -> None)
+          ps
+      in
+      Ok { prov_block; prov_firing; prov_channel; prov_protocols = protocols }
+  | _ -> Error "provenance: missing block/firing/channel/protocols"
+
+let disagreement_of_json json =
+  match json_str "kind" json with
+  | Some "trace" -> (
+      match
+        ( json_int "round" json,
+          json_str "port" json,
+          json_num "expected" json,
+          json_num "actual" json )
+      with
+      | Some round, Some port, Some expected, Some actual -> (
+          match Obs.Json.member "provenance" json with
+          | None -> Ok (Trace { round; port; expected; actual; provenance = None })
+          | Some p -> (
+              match provenance_of_json p with
+              | Ok prov ->
+                  Ok (Trace { round; port; expected; actual; provenance = Some prov })
+              | Error msg -> Error msg))
+      | _ -> Error "trace disagreement: missing round/port/expected/actual")
+  | Some "crash" -> (
+      match json_str "message" json with
+      | Some m -> Ok (Crash m)
+      | None -> Error "crash disagreement: missing message")
+  | Some "structure" -> (
+      match json_str "message" json with
+      | Some m -> Ok (Structure m)
+      | None -> Error "structure disagreement: missing message")
+  | Some other -> Error (Printf.sprintf "unknown disagreement kind %S" other)
+  | None -> Error "disagreement: missing kind"
+
+let verdict_of_json json =
+  match json_str "verdict" json with
+  | Some "agree" -> Ok Agree
+  | Some "disagree" -> (
+      match Obs.Json.member "disagreement" json with
+      | Some d -> (
+          match disagreement_of_json d with
+          | Ok d -> Ok (Disagree d)
+          | Error msg -> Error msg)
+      | None -> Error "disagree verdict: missing disagreement")
+  | Some "unavailable" -> (
+      match json_str "reason" json with
+      | Some why -> Ok (Backend_unavailable why)
+      | None -> Error "unavailable verdict: missing reason")
+  | Some other -> Error (Printf.sprintf "unknown verdict %S" other)
+  | None -> Error "verdict: missing \"verdict\""
+
+let report_of_json json =
+  match (json_str "model" json, json_int "rounds" json) with
+  | Some model_name, Some rounds -> (
+      let outputs =
+        match Obs.Json.member "outputs" json with
+        | Some (Obs.Json.List os) ->
+            List.filter_map
+              (function Obs.Json.String s -> Some s | _ -> None)
+              os
+        | _ -> []
+      in
+      match Obs.Json.member "verdicts" json with
+      | Some (Obs.Json.Obj fields) ->
+          let rec decode acc = function
+            | [] -> Ok { model_name; rounds; outputs; verdicts = List.rev acc }
+            | (name, v) :: rest -> (
+                match backend_of_string name with
+                | Error msg -> Error msg
+                | Ok backend -> (
+                    match verdict_of_json v with
+                    | Ok verdict -> decode ((backend, verdict) :: acc) rest
+                    | Error msg ->
+                        Error (Printf.sprintf "backend %s: %s" name msg)))
+          in
+          decode [] fields
+      | _ -> Error "report: missing \"verdicts\" object")
+  | _ -> Error "report: missing model/rounds"

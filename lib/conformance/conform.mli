@@ -121,3 +121,13 @@ val render : report -> string
 (** Human-readable multi-line summary. *)
 
 val to_json : report -> Umlfront_obs.Json.t
+
+val provenance_of_json : Umlfront_obs.Json.t -> (token_provenance, string) result
+val disagreement_of_json : Umlfront_obs.Json.t -> (disagreement, string) result
+val verdict_of_json : Umlfront_obs.Json.t -> (verdict, string) result
+
+val report_of_json : Umlfront_obs.Json.t -> (report, string) result
+(** Inverse of {!to_json}, so the wire format of
+    [umlfront conform --format json] — the same bytes [umlfront serve]
+    answers on [/api/conform] — is provably round-trippable.  Strict on
+    required members, tolerant of unknown ones. *)

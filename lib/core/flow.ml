@@ -9,6 +9,25 @@ type allocation_strategy =
   | Infer_linear
   | Infer_bounded of int
 
+let strategy_name = function
+  | Use_deployment -> "deployment"
+  | Prefer_deployment -> "prefer-deployment"
+  | Infer_linear -> "linear"
+  | Infer_bounded n -> Printf.sprintf "bounded-%d" n
+
+(* The pure cache identity of a flow run: the canonical XMI bytes of
+   the (parsed, re-serialized) model plus every input that steers the
+   phases.  Two texts that parse to the same model — different
+   whitespace, attribute order the writer normalizes — share material,
+   so a serving cache keyed on (a hash of) this string deduplicates
+   them; any model edit or option change produces different bytes.
+   Purely a function of its arguments: no telemetry, no globals. *)
+let cache_material ?(style = Mapping.Caam) ?(strategy = Prefer_deployment) uml =
+  Printf.sprintf "style=%s\nstrategy=%s\n%s"
+    (match style with Mapping.Caam -> "caam" | Mapping.Flat -> "flat")
+    (strategy_name strategy)
+    (Umlfront_uml.Xmi.to_string uml)
+
 type output = {
   caam : Umlfront_simulink.Model.t;
   mdl : string;

@@ -12,6 +12,23 @@ type allocation_strategy =
   | Infer_linear  (** ignore the diagram, one CPU per linear cluster *)
   | Infer_bounded of int
 
+val strategy_name : allocation_strategy -> string
+(** Stable spelling: ["deployment"], ["prefer-deployment"], ["linear"],
+    ["bounded-N"] — the CLI's [--strategy] vocabulary (plus the [--cpus]
+    bound), reused by the serving layer's query parameters. *)
+
+val cache_material :
+  ?style:Mapping.style ->
+  ?strategy:allocation_strategy ->
+  Umlfront_uml.Model.t ->
+  string
+(** The pure cache identity of a {!run}: canonical XMI bytes of the
+    model prefixed with every option that steers the phases.  Equal
+    material guarantees an equal flow output (the pipeline is
+    deterministic), which is what lets [umlfront serve] key its
+    content-hash response cache on a SHA-256 of this string plus the
+    endpoint and its remaining options. *)
+
 type output = {
   caam : Umlfront_simulink.Model.t;  (** after all optimization passes *)
   mdl : string;  (** the generated .mdl text *)

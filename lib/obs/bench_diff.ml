@@ -11,7 +11,11 @@
      which must not turn false;
    - umlfront-bench-exec-compiled/1: the compiled executor against the
      sequential reference — speedup_vs_seq per domain count (higher is
-     better), wall-clock ms, and the bit-identity flag.
+     better), wall-clock ms, and the bit-identity flag;
+   - umlfront-bench-serve/1: per client count (matched by [clients]),
+     req/s — higher is better — and p50/p95 latency ms — lower is
+     better — plus the cache hit ratio, which is a counting property
+     and is judged on any hardware.
 
    Multi-domain timing findings are hardware-gated: both documents
    record [hardware_domains] (what the runner actually had), and a
@@ -203,6 +207,41 @@ let exec_compiled_findings ~tolerance base current =
   in
   seq_ms @ rows
 
+(* --- umlfront-bench-serve/1 ------------------------------------------ *)
+
+let serve_findings ~tolerance base current =
+  let rows doc =
+    match Json.member "rows" doc with
+    | Some l ->
+        List.filter_map
+          (fun row ->
+            Option.map (fun c -> (int_of_float c, row)) (member_num "clients" row))
+          (Json.items l)
+    | None -> []
+  in
+  let base_rows = rows base in
+  List.concat_map
+    (fun (clients, cur) ->
+      match List.assoc_opt clients base_rows with
+      | None -> []
+      | Some old ->
+          let label = Printf.sprintf "serve.%dc" clients in
+          (* Latency and throughput under N concurrent clients say
+             nothing about the code on a runner that cannot actually
+             run N clients at once, so those findings are
+             hardware-gated like the sweep points above.  The cache
+             hit ratio is a counting property of the request mix and
+             holds on any machine — never skipped. *)
+          (if provisioned ~base ~current clients then
+             num_finding ~tolerance ~direction:Higher_better "req_per_s" label old
+               cur
+             @ num_finding ~tolerance ~direction:Lower_better "p50_ms" label old cur
+             @ num_finding ~tolerance ~direction:Lower_better "p95_ms" label old cur
+           else [])
+          @ num_finding ~tolerance ~direction:Higher_better "hit_ratio" label old
+              cur)
+    (rows current)
+
 (* --- entry points --------------------------------------------------- *)
 
 let compare_docs ?(tolerance = default_tolerance) ~base ~current () =
@@ -215,6 +254,7 @@ let compare_docs ?(tolerance = default_tolerance) ~base ~current () =
       Ok (parallel_findings ~tolerance base current)
   | Some "umlfront-bench-exec-compiled/1", _ ->
       Ok (exec_compiled_findings ~tolerance base current)
+  | Some "umlfront-bench-serve/1", _ -> Ok (serve_findings ~tolerance base current)
   | Some other, _ -> Error (Printf.sprintf "unknown bench schema %S" other)
 
 let regressions findings = List.filter (fun f -> f.f_regression) findings

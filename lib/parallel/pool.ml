@@ -71,6 +71,25 @@ let shutdown t =
     List.iter Domain.join workers
   end
 
+(* Fire-and-forget: hand one closure to the workers and return.  The
+   task must do its own synchronization/telemetry — unlike {!run_batch}
+   there is no completion barrier and no context forking here.  With no
+   workers (sequential pool, or already shut down) the task is NOT run:
+   the caller finds out via [false] and runs it inline, which keeps the
+   no-worker pool observationally sequential. *)
+let submit t task =
+  if t.workers = [] then false
+  else begin
+    Mutex.lock t.lock;
+    let accepted = not t.stop in
+    if accepted then begin
+      Queue.add task t.queue;
+      Condition.signal t.task_ready
+    end;
+    Mutex.unlock t.lock;
+    accepted
+  end
+
 let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -50,6 +50,15 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
+val submit : t -> (unit -> unit) -> bool
+(** Fire-and-forget: enqueue one task for the worker domains and return
+    immediately — no completion barrier, no telemetry forking; the task
+    owns its own synchronization and context.  Returns [false] (task
+    not enqueued, caller should run it inline) when the pool has no
+    workers or was shut down.  This is what lets a long-lived server
+    ([umlfront serve]) use the pool as a request executor while {!map}
+    keeps its batch semantics. *)
+
 val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  [chunk] (default 1) batches that
     many consecutive elements per task to amortize queue traffic on

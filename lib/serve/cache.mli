@@ -1,0 +1,37 @@
+(** Content-addressed LRU response cache.
+
+    Keys are SHA-256 hex strings over canonical model bytes + endpoint
+    + options ({!Api.cache_key}); values are complete response payloads.
+    The cache is bounded by total byte size (bodies + keys), evicting
+    least-recently-used entries, and is safe to share across the server
+    worker domains (one mutex — lookups are string hashing, not work).
+
+    Hit/miss/eviction counts accumulate in {!stats}; the server mirrors
+    them into its metrics registry so they surface on [/metrics]. *)
+
+type value = { status : int; content_type : string; body : string }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;  (** currently held *)
+  capacity : int;  (** the byte bound *)
+}
+
+type t
+
+val create : max_bytes:int -> t
+(** [max_bytes <= 0] disables caching: every lookup misses, nothing is
+    stored. *)
+
+val find : t -> string -> value option
+(** Bumps the entry to most-recently-used and counts a hit; counts a
+    miss when absent. *)
+
+val add : t -> string -> value -> unit
+(** Insert (or refresh) and evict LRU entries until the bound holds.  A
+    value larger than the whole bound is not stored. *)
+
+val stats : t -> stats

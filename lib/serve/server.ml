@@ -1,0 +1,402 @@
+(* The serving daemon.  Transport and scheduling only — everything a
+   request *means* lives in {!Api} (pure), {!Http} (codec) and
+   {!Cache} (memoization), which is what keeps this file small enough
+   to audit: accept, admit, decode, dispatch, observe, reply.
+
+   Threading model: the acceptor domain owns the listening socket and
+   does admission control; each accepted connection becomes one
+   fire-and-forget pool task that handles the whole keep-alive
+   conversation.  The only cross-domain state is the cache (its own
+   mutex), the in-flight counter (atomic) and the root telemetry
+   context (merged into under [root_lock]). *)
+
+module Obs = Umlfront_obs
+module Json = Umlfront_obs.Json
+module Pool = Umlfront_parallel.Pool
+
+type config = {
+  port : int;
+  pool : int;
+  cache_mb : int;
+  max_inflight : int;
+  timeout_s : float;
+  max_body : int;
+}
+
+let default_config =
+  {
+    port = 0;
+    pool = 2;
+    cache_mb = 32;
+    max_inflight = 64;
+    timeout_s = 30.;
+    max_body = 8 * 1024 * 1024;
+  }
+
+type t = {
+  config : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  root : Obs.Context.t;
+  root_lock : Mutex.t;
+  cache : Cache.t;
+  workers : Pool.t;
+  inflight_count : int Atomic.t;
+  request_count : int Atomic.t;
+  stopping : bool Atomic.t;
+  started_at : float;
+  mutable acceptor : unit Domain.t option;
+}
+
+let port t = t.bound_port
+let root t = t.root
+let cache_stats t = Cache.stats t.cache
+let inflight t = Atomic.get t.inflight_count
+
+(* --- socket plumbing -------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+(* A dead peer (EPIPE/ECONNRESET) is not a server error: drop the
+   bytes, the connection loop closes right after. *)
+let send fd s =
+  match write_all fd s 0 (String.length s) with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+(* --- request handling ------------------------------------------------- *)
+
+let json_error status message =
+  (status, "application/json",
+   Json.to_string (Json.Obj [ ("error", Json.String message) ]) ^ "\n")
+
+let overload_body =
+  Json.to_string
+    (Json.Obj
+       [
+         ("error", Json.String "server overloaded");
+         ("hint", Json.String "retry after the interval in Retry-After");
+       ])
+  ^ "\n"
+
+let timeout_body =
+  Json.to_string
+    (Json.Obj
+       [
+         ("error", Json.String "request deadline exceeded");
+         ("hint", Json.String "raise --timeout or simplify the model");
+       ])
+  ^ "\n"
+
+let observe_request t ~endpoint ~status ~cache_state ~dur_us =
+  let r = t.root.Obs.Context.metrics in
+  Obs.Metrics.incr ~registry:r "serve.requests";
+  Obs.Metrics.incr ~registry:r (Printf.sprintf "serve.status.%dxx" (status / 100));
+  Obs.Metrics.incr ~registry:r ("serve.endpoint." ^ endpoint);
+  (match cache_state with
+  | Some true -> Obs.Metrics.incr ~registry:r "serve.cache.hit"
+  | Some false -> Obs.Metrics.incr ~registry:r "serve.cache.miss"
+  | None -> ());
+  Obs.Metrics.observe ~registry:r "serve.request_us" dur_us
+
+(* One compute request: private context, deadline, cache, merge-back.
+   Returns (status, content_type, body, extra headers). *)
+let compute t endpoint (req : Http.request) =
+  let request_id = Atomic.fetch_and_add t.request_count 1 in
+  match Api.options_of_query req.Http.query with
+  | Error msg ->
+      let status, ct, body = json_error 400 msg in
+      (status, ct, body, [ ("X-Request-Id", string_of_int request_id) ], "-")
+  | Ok opts -> (
+      match Api.parse_model req.Http.body with
+      | Error d ->
+          ( 422,
+            "application/json",
+            Json.to_string
+              (Json.List [ Umlfront_analysis.Diagnostic.list_to_json [ d ] ])
+            ^ "\n",
+            [ ("X-Request-Id", string_of_int request_id) ],
+            "-" )
+      | Ok uml -> (
+          let key = Api.cache_key endpoint opts uml in
+          match Cache.find t.cache key with
+          | Some v ->
+              ( v.Cache.status,
+                v.Cache.content_type,
+                v.Cache.body,
+                [
+                  ("X-Cache", "hit"); ("X-Request-Id", string_of_int request_id);
+                ],
+                "hit" )
+          | None ->
+              (* The private context: spans, counters and journal
+                 entries of this request land here and nowhere else.
+                 Only metrics and journal are merged back — absorbing
+                 every request's span tree into a daemon-lifetime
+                 buffer would grow without bound. *)
+              let rctx = Obs.Context.create ~trace:true () in
+              let deadline = Unix.gettimeofday () +. t.config.timeout_s in
+              let outcome =
+                Obs.Context.with_current rctx (fun () ->
+                    Obs.Journal.record
+                      ~fields:
+                        [
+                          ("endpoint", Json.String (Api.endpoint_name endpoint));
+                          ("request", Json.Int request_id);
+                        ]
+                      "serve.request";
+                    match Api.run ~deadline endpoint opts uml with
+                    | o -> Ok o
+                    | exception Api.Timeout -> Error `Timeout)
+              in
+              let spans = List.length (Obs.Trace.events_in rctx.Obs.Context.trace) in
+              Mutex.lock t.root_lock;
+              Obs.Metrics.merge ~into:t.root.Obs.Context.metrics
+                rctx.Obs.Context.metrics;
+              Obs.Journal.merge ~into:t.root.Obs.Context.journal
+                rctx.Obs.Context.journal;
+              Mutex.unlock t.root_lock;
+              let headers =
+                [
+                  ("X-Cache", "miss");
+                  ("X-Request-Id", string_of_int request_id);
+                  ("X-Request-Spans", string_of_int spans);
+                ]
+              in
+              (match outcome with
+              | Ok o ->
+                  if o.Api.status = 200 then
+                    Cache.add t.cache key
+                      {
+                        Cache.status = o.Api.status;
+                        content_type = o.Api.content_type;
+                        body = o.Api.body;
+                      };
+                  (o.Api.status, o.Api.content_type, o.Api.body, headers, "miss")
+              | Error `Timeout ->
+                  ( 503,
+                    "application/json",
+                    timeout_body,
+                    ("Retry-After", "1") :: headers,
+                    "miss" ))))
+
+let metrics_body t =
+  let r = t.root.Obs.Context.metrics in
+  let c = Cache.stats t.cache in
+  Obs.Metrics.set_gauge ~registry:r "serve.cache.hits" (float_of_int c.Cache.hits);
+  Obs.Metrics.set_gauge ~registry:r "serve.cache.misses"
+    (float_of_int c.Cache.misses);
+  Obs.Metrics.set_gauge ~registry:r "serve.cache.evictions"
+    (float_of_int c.Cache.evictions);
+  Obs.Metrics.set_gauge ~registry:r "serve.cache.entries"
+    (float_of_int c.Cache.entries);
+  Obs.Metrics.set_gauge ~registry:r "serve.cache.bytes" (float_of_int c.Cache.bytes);
+  Obs.Metrics.set_gauge ~registry:r "serve.inflight"
+    (float_of_int (Atomic.get t.inflight_count));
+  Obs.Openmetrics.render (Obs.Metrics.snapshot ~registry:r ())
+
+let journal_body t =
+  Mutex.lock t.root_lock;
+  let entries = Obs.Journal.entries_in t.root.Obs.Context.journal in
+  Mutex.unlock t.root_lock;
+  Json.to_string (Json.List (List.map Obs.Journal.entry_json entries)) ^ "\n"
+
+let healthz_body t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+         ("inflight", Json.Int (Atomic.get t.inflight_count));
+         ("requests", Json.Int (Atomic.get t.request_count));
+         ("pool", Json.Int t.config.pool);
+       ])
+  ^ "\n"
+
+let method_not_allowed allow =
+  let status, ct, body = json_error 405 "method not allowed" in
+  (status, ct, body, [ ("Allow", allow) ], "-")
+
+(* Route one decoded request to (status, content_type, body, headers). *)
+let handle t (req : Http.request) =
+  match Api.endpoint_of_path req.Http.path with
+  | Some endpoint ->
+      if req.Http.meth = "POST" then compute t endpoint req
+      else method_not_allowed "POST"
+  | None -> (
+      match (req.Http.meth, req.Http.path) with
+      | "GET", "/healthz" ->
+          (200, "application/json", healthz_body t, [], "-")
+      | "GET", "/metrics" ->
+          ( 200,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            metrics_body t,
+            [],
+            "-" )
+      | "GET", "/journal" -> (200, "application/json", journal_body t, [], "-")
+      | _, ("/healthz" | "/metrics" | "/journal") -> method_not_allowed "GET"
+      | ("GET" | "HEAD" | "POST"), _ ->
+          let status, ct, body = json_error 404 "no such route" in
+          (status, ct, body, [], "-")
+      | _ ->
+          let status, ct, body = json_error 405 "method not allowed" in
+          (status, ct, body, [ ("Allow", "GET, POST") ], "-"))
+
+(* The whole conversation on one accepted connection: decode (with
+   pipelining — a second buffered request surfaces on the next [next]),
+   dispatch, reply, loop while keep-alive.  A codec error is terminal
+   for the connection: framing is lost, answer once and close. *)
+let conversation t fd =
+  let dec = Http.decoder ~max_body:t.config.max_body () in
+  let buf = Bytes.create 8192 in
+  let rec loop () =
+    match Http.next dec with
+    | `Request req ->
+        let t0 = Unix.gettimeofday () in
+        let status, content_type, body, headers, cache_state = handle t req in
+        let close = Atomic.get t.stopping || not (Http.keep_alive req) in
+        send fd (Http.response ~headers ~content_type ~close ~status body);
+        observe_request t
+          ~endpoint:
+            (match Api.endpoint_of_path req.Http.path with
+            | Some e -> Api.endpoint_name e
+            | None -> "other")
+          ~status
+          ~cache_state:
+            (match cache_state with
+            | "hit" -> Some true
+            | "miss" -> Some false
+            | _ -> None)
+          ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6);
+        if not close then loop ()
+    | `Error e ->
+        let status = Http.error_status e in
+        let _, content_type, body = json_error status (Http.error_message e) in
+        send fd (Http.response ~content_type ~close:true ~status body)
+    | `Await -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> () (* peer closed *)
+        | n ->
+            Http.feed dec (Bytes.sub_string buf 0 n);
+            loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* idle past the read timeout *)
+            ())
+  in
+  loop ()
+
+let handle_connection t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.inflight_count)
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout_s
+       with Unix.Unix_error _ -> ());
+      try conversation t fd with
+      | Unix.Unix_error _ -> () (* torn connection: nothing to answer *)
+      | e ->
+          (* Anything else is a server bug — but it must cost one 500,
+             not a silently dead worker domain. *)
+          Obs.Metrics.incr ~registry:t.root.Obs.Context.metrics
+            "serve.internal_errors";
+          let _, content_type, body =
+            json_error 500 ("internal error: " ^ Printexc.to_string e)
+          in
+          send fd (Http.response ~content_type ~close:true ~status:500 body))
+
+(* Admission control lives here, before any worker is involved: beyond
+   [max_inflight] open connections the reply is an immediate 503 with
+   Retry-After — overload must degrade to fast rejection, not to a
+   growing queue. *)
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        () (* listener closed: stop *)
+    | exception Unix.Unix_error (_, _, _) ->
+        if Atomic.get t.stopping then () else loop ()
+    | fd, _addr ->
+        if Atomic.get t.stopping then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ())
+        else if Atomic.get t.inflight_count >= t.config.max_inflight then begin
+          Obs.Metrics.incr ~registry:t.root.Obs.Context.metrics "serve.rejected";
+          send fd
+            (Http.response
+               ~headers:[ ("Retry-After", "1") ]
+               ~close:true ~status:503 overload_body);
+          (* Half-close and drain what the peer already sent: closing
+             with unread request bytes in the receive buffer makes TCP
+             answer with RST, which can destroy the 503 before the
+             client reads it.  The drain is bounded by SO_RCVTIMEO. *)
+          (try
+             Unix.shutdown fd Unix.SHUTDOWN_SEND;
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2;
+             let junk = Bytes.create 4096 in
+             while Unix.read fd junk 0 4096 > 0 do
+               ()
+             done
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ()
+        end
+        else begin
+          Atomic.incr t.inflight_count;
+          if not (Pool.submit t.workers (fun () -> handle_connection t fd)) then
+            (* sequential pool (--pool 0): serve on the acceptor *)
+            handle_connection t fd;
+          loop ()
+        end
+  in
+  loop ()
+
+let start ?(config = default_config) () =
+  (* A peer that disappears mid-reply must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen listener 128;
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      config;
+      listener;
+      bound_port;
+      root = Obs.Context.create ~trace:false ();
+      root_lock = Mutex.create ();
+      cache = Cache.create ~max_bytes:(config.cache_mb * 1024 * 1024);
+      (* +1: the owner (acceptor) never helps drain, so [pool] real
+         worker domains require a pool of size [pool + 1]. *)
+      workers = Pool.create ~domains:(config.pool + 1) ();
+      inflight_count = Atomic.make 0;
+      request_count = Atomic.make 0;
+      stopping = Atomic.make false;
+      started_at = Unix.gettimeofday ();
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    t.acceptor <- None;
+    Pool.shutdown t.workers
+  end

@@ -1,0 +1,66 @@
+(** The [umlfront serve] daemon: a long-lived, cache-keyed compilation
+    service over the whole flow, on nothing but [Unix] sockets and
+    domains.
+
+    One acceptor domain owns the listening socket; every accepted
+    connection is handed to the {!Umlfront_parallel.Pool} as a
+    fire-and-forget task ({!Umlfront_parallel.Pool.submit}) and handled
+    there end to end — keep-alive loop, pipelining, per-request
+    telemetry.  Admission control happens at accept time: once
+    [max_inflight] connections are in flight the server answers
+    [503 Service Unavailable] with [Retry-After] and closes, so
+    overload degrades to fast rejection, never to a hang.
+
+    Endpoints:
+    - [POST /api/lint], [/api/transform], [/api/simulate],
+      [/api/conform], [/api/generate/{c,java,kpn}] — XMI in the body,
+      options in the query string ({!Api.options_of_query}), JSON out;
+    - [GET /healthz] — liveness, uptime, in-flight count;
+    - [GET /metrics] — OpenMetrics exposition of the server's root
+      telemetry context plus cache gauges;
+    - [GET /journal] — the merged run journal as a JSON list.
+
+    Each compute request runs in its own forked {!Umlfront_obs.Context}
+    (so concurrent requests observe fully disjoint telemetry) whose
+    metrics and journal are merged back into the server's root context
+    afterwards; span buffers are deliberately {e not} absorbed — a
+    daemon must not accumulate one span tree per request forever.  The
+    response advertises the isolation: [X-Request-Id] numbers the
+    request, [X-Request-Spans] counts the trace events its private
+    context recorded (a bled-into context would show inflated counts),
+    and [X-Cache: hit|miss] reports the content-hash cache. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  pool : int;  (** worker domains handling connections (>= 0) *)
+  cache_mb : int;  (** response cache budget; [<= 0] disables *)
+  max_inflight : int;  (** admission-control bound on open connections *)
+  timeout_s : float;  (** per-request compute deadline, and socket read timeout *)
+  max_body : int;  (** request-body bound (413 beyond it) *)
+}
+
+val default_config : config
+(** Port 0, 2 workers, 32 MiB cache, 64 in flight, 30 s timeout,
+    8 MiB bodies. *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind [127.0.0.1], spawn the pool and the acceptor domain, return
+    once the socket is listening (so a client may connect
+    immediately). *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when [config.port = 0]. *)
+
+val stop : t -> unit
+(** Close the listener, join the acceptor, drain and join the pool.
+    Idempotent.  In-flight requests finish; no new ones are accepted. *)
+
+val root : t -> Umlfront_obs.Context.t
+(** The server's root telemetry context — every request's metrics and
+    journal entries end up here (what [/metrics] and [/journal]
+    serve). *)
+
+val cache_stats : t -> Cache.stats
+val inflight : t -> int

@@ -1,0 +1,14 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4), dependency-free.
+
+    The serving layer keys its response cache on a cryptographic hash of
+    the canonical model bytes plus the endpoint and its options
+    ({!Umlfront_core.Flow.cache_material}); the stdlib only ships MD5
+    ([Digest]), so the compression function lives here.  Performance is
+    a non-goal — requests hash a few kilobytes of XMI — correctness is
+    pinned against the FIPS test vectors in the test suite. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase hex digest (64 characters), the cache-key spelling. *)

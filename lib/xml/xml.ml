@@ -344,7 +344,13 @@ and parse_children st parent =
       in
       gather ();
       let s = Buffer.contents buf in
-      if is_blank s then loop acc else loop (Text s :: acc))
+      (* EOF with the element still open: without this check a
+         truncated document (e.g. "<a>") would loop here forever,
+         gathering empty text. *)
+      if peek st = None then
+        fail st (Printf.sprintf "unexpected end of input inside <%s>" parent)
+      else if is_blank s then loop acc
+      else loop (Text s :: acc))
   in
   loop []
 

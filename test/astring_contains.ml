@@ -6,3 +6,26 @@ let contains haystack needle =
   else
     let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
     at 0
+
+(* First index of [needle] in [haystack], or -1. *)
+let find haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then 0
+  else
+    let rec at i =
+      if i + n > h then -1
+      else if String.sub haystack i n = needle then i
+      else at (i + 1)
+    in
+    at 0
+
+(* Non-overlapping occurrences of [needle]. *)
+let count haystack needle =
+  let n = String.length needle in
+  if n = 0 then 0
+  else
+    let rec go i acc =
+      let j = find (String.sub haystack i (String.length haystack - i)) needle in
+      if j < 0 then acc else go (i + j + n) (acc + 1)
+    in
+    go 0 0

@@ -240,6 +240,14 @@ let goldens =
       fun () -> json_report ~file:"crane_defects" (defect_report ()) );
     ("crane.trace.json", crane_trace);
     ("crane.spans.txt", crane_spans);
+    (* A full serialized HTTP response with the only nondeterministic
+       header (Date) pinned: freezes the serving wire format — header
+       order, casing, CRLF framing — byte-for-byte. *)
+    ( "http.response.txt",
+      fun () ->
+        Umlfront_serve.Http.response
+          ~headers:[ ("X-Cache", "hit") ]
+          ~date:"Sun, 09 Aug 2026 12:00:00 GMT" ~status:200 "{\"ok\":true}\n" );
   ]
 
 let golden_names = List.map fst goldens

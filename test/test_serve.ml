@@ -1,0 +1,787 @@
+(* The serving tentpole: umlfront serve as a long-lived, cache-keyed
+   compilation service.
+
+   Layers under test, inside out:
+   - Sha256: FIPS 180-4 vectors (the cache key depends on it);
+   - Http: the incremental codec — torn 1-byte reads, pipelining,
+     missing/duplicate Content-Length, header case-insensitivity, and
+     the response serializer pinned byte-for-byte against a golden;
+   - Cache: LRU semantics — recency, eviction order, byte bound,
+     hit/miss/eviction counters;
+   - Api: query-option decoding and the content-hash cache key;
+   - JSON round-trips: Diagnostic and Conform reports decode back to
+     what was encoded, so the wire format the server shares with the
+     CLI is invertible;
+   - the live server over the loopback: every endpoint end to end,
+     byte-parity with the CLI's --format json output, the failure
+     paths (404/405/413/422/400), overload 503, raw-socket pipelining;
+   - the hammer: 200 concurrent mixed requests over random lint-clean
+     models (all six Random_models shapes) must produce byte-identical
+     bodies to a sequential replay, zero cross-request telemetry bleed
+     (X-Request-Spans stable, flow runs == cache misses) and a warm
+     cache (hit ratio > 0 in /metrics). *)
+
+module Http = Umlfront_serve.Http
+module Sha256 = Umlfront_serve.Sha256
+module Cache = Umlfront_serve.Cache
+module Api = Umlfront_serve.Api
+module Server = Umlfront_serve.Server
+module Client = Umlfront_serve.Serve_client
+module A = Umlfront_analysis
+module Conf = Umlfront_conformance.Conform
+module R = Umlfront_casestudies.Random_models
+module CS = Umlfront_casestudies
+module Core = Umlfront_core
+module U = Umlfront_uml
+module Obs = Umlfront_obs
+module Json = Umlfront_obs.Json
+
+let check = Alcotest.check
+let checkb name = Alcotest.check Alcotest.bool name true
+let test name f = Alcotest.test_case name `Quick f
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let didactic_xmi = lazy (U.Xmi.to_string (CS.Didactic.model ()))
+let crane_xmi = lazy (U.Xmi.to_string (CS.Crane_system.model ()))
+
+(* --- sha256 ---------------------------------------------------------- *)
+
+let sha256_tests =
+  [
+    test "FIPS 180-4 vectors" (fun () ->
+        check Alcotest.string "empty"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Sha256.hex "");
+        check Alcotest.string "abc"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Sha256.hex "abc");
+        check Alcotest.string "448-bit"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        check Alcotest.string "quick brown fox"
+          "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+          (Sha256.hex "The quick brown fox jumps over the lazy dog"));
+    test "million a's (multi-block, padding straddles blocks)" (fun () ->
+        check Alcotest.string "1e6 x 'a'"
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Sha256.hex (String.make 1_000_000 'a')));
+    test "length landing exactly on the padding boundary" (fun () ->
+        (* 55 and 56 bytes: the 56-byte message forces a second block
+           for the length word. *)
+        checkb "55 <> 56 digests"
+          (Sha256.hex (String.make 55 'x') <> Sha256.hex (String.make 56 'x'));
+        check Alcotest.int "hex length" 64 (String.length (Sha256.hex "x")));
+  ]
+
+(* --- http codec ------------------------------------------------------ *)
+
+let simple_post ?(cl = true) body =
+  Printf.sprintf "POST /api/lint?file=m.xml HTTP/1.1\r\nHost: x\r\n%sX-Thing: v\r\n\r\n%s"
+    (if cl then Printf.sprintf "Content-Length: %d\r\n" (String.length body) else "")
+    body
+
+let decode_all s =
+  let d = Http.decoder () in
+  Http.feed d s;
+  let rec drain acc =
+    match Http.next d with
+    | `Request r -> drain (r :: acc)
+    | `Await -> List.rev acc
+    | `Error e -> failwith ("decode error: " ^ Http.error_message e)
+  in
+  drain []
+
+let http_tests =
+  [
+    test "request line, path, query and headers decode" (fun () ->
+        match decode_all (simple_post "hello") with
+        | [ r ] ->
+            check Alcotest.string "meth" "POST" r.Http.meth;
+            check Alcotest.string "path" "/api/lint" r.Http.path;
+            check
+              Alcotest.(list (pair string string))
+              "query"
+              [ ("file", "m.xml") ]
+              r.Http.query;
+            check Alcotest.string "body" "hello" r.Http.body;
+            check Alcotest.(option string) "header" (Some "v") (Http.header r "x-thing")
+        | rs -> Alcotest.failf "expected 1 request, got %d" (List.length rs));
+    test "header lookup is case-insensitive" (fun () ->
+        match decode_all "GET / HTTP/1.1\r\nX-MiXeD-CaSe: yes\r\n\r\n" with
+        | [ r ] ->
+            check Alcotest.(option string) "upper" (Some "yes")
+              (Http.header r "X-MIXED-CASE");
+            check Alcotest.(option string) "lower" (Some "yes")
+              (Http.header r "x-mixed-case")
+        | _ -> Alcotest.fail "one request expected");
+    test "torn 1-byte reads still yield the same request" (fun () ->
+        let raw = simple_post "torn body bytes" in
+        let d = Http.decoder () in
+        let got = ref [] in
+        String.iter
+          (fun c ->
+            Http.feed d (String.make 1 c);
+            match Http.next d with
+            | `Request r -> got := r :: !got
+            | `Await -> ()
+            | `Error e -> failwith (Http.error_message e))
+          raw;
+        match (!got, decode_all raw) with
+        | [ torn ], [ whole ] ->
+            checkb "identical requests" (torn = whole);
+            check Alcotest.string "body" "torn body bytes" torn.Http.body
+        | _ -> Alcotest.fail "exactly one request expected from each decode");
+    test "pipelined requests surface one at a time, in order" (fun () ->
+        let raw = simple_post "first" ^ simple_post "second" ^ "GET /healthz HTTP/1.1\r\n\r\n" in
+        match decode_all raw with
+        | [ a; b; c ] ->
+            check Alcotest.string "1st body" "first" a.Http.body;
+            check Alcotest.string "2nd body" "second" b.Http.body;
+            check Alcotest.string "3rd path" "/healthz" c.Http.path;
+            check Alcotest.string "3rd meth" "GET" c.Http.meth
+        | rs -> Alcotest.failf "expected 3 requests, got %d" (List.length rs));
+    test "POST without Content-Length is 411" (fun () ->
+        let d = Http.decoder () in
+        Http.feed d (simple_post ~cl:false "body");
+        (match Http.next d with
+        | `Error `Length_required -> ()
+        | _ -> Alcotest.fail "expected Length_required");
+        check Alcotest.int "status" 411 (Http.error_status `Length_required));
+    test "duplicate Content-Length is rejected (smuggling guard)" (fun () ->
+        let d = Http.decoder () in
+        Http.feed d
+          "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!";
+        match Http.next d with
+        | `Error (`Bad_request m) -> checkb "names the header" (m = "duplicate Content-Length")
+        | _ -> Alcotest.fail "expected Bad_request");
+    test "declared body beyond max_body is 413 before buffering" (fun () ->
+        let d = Http.decoder ~max_body:10 () in
+        Http.feed d "POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n";
+        match Http.next d with
+        | `Error (`Payload_too_large 11) -> ()
+        | _ -> Alcotest.fail "expected Payload_too_large 11");
+    test "errors are sticky" (fun () ->
+        let d = Http.decoder () in
+        Http.feed d "NONSENSE\r\n\r\n";
+        (match Http.next d with `Error _ -> () | _ -> Alcotest.fail "error expected");
+        Http.feed d "GET / HTTP/1.1\r\n\r\n";
+        match Http.next d with
+        | `Error _ -> ()
+        | _ -> Alcotest.fail "decoder must stay failed");
+    test "oversized head is rejected" (fun () ->
+        let d = Http.decoder ~max_header:64 () in
+        Http.feed d ("GET /" ^ String.make 100 'x' ^ " HTTP/1.1\r\n");
+        match Http.next d with
+        | `Error (`Bad_request _) -> ()
+        | _ -> Alcotest.fail "expected Bad_request on oversized head");
+    test "keep_alive: HTTP/1.1 persistent unless Connection: close" (fun () ->
+        let r s = List.hd (decode_all s) in
+        checkb "default persistent" (Http.keep_alive (r "GET / HTTP/1.1\r\n\r\n"));
+        checkb "close honored"
+          (not (Http.keep_alive (r "GET / HTTP/1.1\r\nConnection: close\r\n\r\n")));
+        checkb "case-insensitive value"
+          (not (Http.keep_alive (r "GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n"))));
+    test "percent and + decoding in path and query" (fun () ->
+        match decode_all "GET /a%20b?k=v%2Fw&plus=a+b HTTP/1.1\r\n\r\n" with
+        | [ r ] ->
+            check Alcotest.string "path" "/a b" r.Http.path;
+            check Alcotest.(option string) "slash" (Some "v/w") (Http.query_param r "k");
+            check Alcotest.(option string) "plus" (Some "a b") (Http.query_param r "plus")
+        | _ -> Alcotest.fail "one request expected");
+    test "response serialization is pinned (golden)" (fun () ->
+        let got =
+          Http.response
+            ~headers:[ ("X-Cache", "hit") ]
+            ~date:"Sun, 09 Aug 2026 12:00:00 GMT" ~status:200 "{\"ok\":true}\n"
+        in
+        check Alcotest.string "golden bytes" (read_file "golden/http.response.txt") got);
+  ]
+
+(* --- cache ----------------------------------------------------------- *)
+
+let v body = { Cache.status = 200; content_type = "application/json"; body }
+
+let cache_tests =
+  [
+    test "hit and miss counters" (fun () ->
+        let c = Cache.create ~max_bytes:4096 in
+        checkb "initial miss" (Cache.find c "k" = None);
+        Cache.add c "k" (v "body");
+        checkb "then hit" (Cache.find c "k" = Some (v "body"));
+        let s = Cache.stats c in
+        check Alcotest.int "hits" 1 s.Cache.hits;
+        check Alcotest.int "misses" 1 s.Cache.misses;
+        check Alcotest.int "entries" 1 s.Cache.entries);
+    test "LRU eviction order respects recency" (fun () ->
+        (* Each entry costs body + 2*key + 64 = 100+2+64 = 166; bound to
+           two entries. *)
+        let c = Cache.create ~max_bytes:340 in
+        Cache.add c "a" (v (String.make 100 'a'));
+        Cache.add c "b" (v (String.make 100 'b'));
+        ignore (Cache.find c "a");
+        (* "b" is now least recently used: adding "c" evicts it. *)
+        Cache.add c "c" (v (String.make 100 'c'));
+        checkb "a survives (recently used)" (Cache.find c "a" <> None);
+        checkb "b evicted" (Cache.find c "b" = None);
+        checkb "c present" (Cache.find c "c" <> None);
+        check Alcotest.int "evictions" 1 (Cache.stats c).Cache.evictions);
+    test "oversized value is skipped, replacement reuses the slot" (fun () ->
+        let c = Cache.create ~max_bytes:200 in
+        Cache.add c "big" (v (String.make 400 'x'));
+        checkb "not stored" (Cache.find c "big" = None);
+        Cache.add c "k" (v "one");
+        Cache.add c "k" (v "two");
+        checkb "replaced" (Cache.find c "k" = Some (v "two"));
+        check Alcotest.int "one entry" 1 (Cache.stats c).Cache.entries);
+    test "max_bytes <= 0 disables storage" (fun () ->
+        let c = Cache.create ~max_bytes:0 in
+        Cache.add c "k" (v "body");
+        checkb "nothing stored" (Cache.find c "k" = None));
+  ]
+
+(* --- api options and cache key --------------------------------------- *)
+
+let api_tests =
+  [
+    test "options_of_query: defaults and the CLI vocabulary" (fun () ->
+        checkb "empty = defaults" (Api.options_of_query [] = Ok Api.default_options);
+        (match Api.options_of_query [ ("strategy", "linear"); ("rounds", "42") ] with
+        | Ok o ->
+            checkb "linear" (o.Api.strategy = Core.Flow.Infer_linear);
+            check Alcotest.int "rounds" 42 o.Api.rounds
+        | Error e -> Alcotest.fail e);
+        (match Api.options_of_query [ ("strategy", "linear"); ("cpus", "3") ] with
+        | Ok o -> checkb "cpus wins" (o.Api.strategy = Core.Flow.Infer_bounded 3)
+        | Error e -> Alcotest.fail e);
+        (match Api.options_of_query [ ("engine", "compiled") ] with
+        | Ok o -> checkb "compiled" (o.Api.engine = `Compiled)
+        | Error e -> Alcotest.fail e);
+        checkb "rounds 0 rejected" (Result.is_error (Api.options_of_query [ ("rounds", "0") ]));
+        checkb "rounds huge rejected"
+          (Result.is_error (Api.options_of_query [ ("rounds", "1000000") ]));
+        checkb "unknown key rejected"
+          (Result.is_error (Api.options_of_query [ ("typo", "1") ])));
+    test "endpoint_of_path covers exactly the published routes" (fun () ->
+        checkb "lint" (Api.endpoint_of_path "/api/lint" = Some Api.Lint);
+        checkb "generate/c" (Api.endpoint_of_path "/api/generate/c" = Some (Api.Generate `C));
+        checkb "unknown" (Api.endpoint_of_path "/api/nope" = None);
+        check Alcotest.int "route count" 7 (List.length Api.all_endpoints));
+    test "cache key: whitespace-insensitive in the model, sensitive to options"
+      (fun () ->
+        let xmi = Lazy.force didactic_xmi in
+        let reparsed =
+          U.Xmi.to_string (U.Xmi.of_string xmi)
+          (* identical canonical bytes *)
+        in
+        let m1 = U.Xmi.of_string xmi and m2 = U.Xmi.of_string reparsed in
+        let o = Api.default_options in
+        check Alcotest.string "same model, same key"
+          (Api.cache_key Api.Lint o m1)
+          (Api.cache_key Api.Lint o m2);
+        checkb "endpoint changes the key"
+          (Api.cache_key Api.Lint o m1 <> Api.cache_key Api.Transform o m1);
+        checkb "rounds change the key"
+          (Api.cache_key Api.Simulate o m1
+          <> Api.cache_key Api.Simulate { o with Api.rounds = 11 } m1);
+        checkb "strategy changes the key"
+          (Api.cache_key Api.Lint o m1
+          <> Api.cache_key Api.Lint { o with Api.strategy = Core.Flow.Infer_linear } m1);
+        checkb "different models differ"
+          (Api.cache_key Api.Lint o m1
+          <> Api.cache_key Api.Lint o (U.Xmi.of_string (Lazy.force crane_xmi))));
+  ]
+
+(* --- JSON round-trips ------------------------------------------------ *)
+
+let roundtrip_tests =
+  [
+    test "Diagnostic.of_json inverts to_json" (fun () ->
+        let ds =
+          [
+            A.Diagnostic.error ~code:"UF901" ~path:[ "request"; "body" ]
+              ~hint:"POST XMI" "malformed";
+            A.Diagnostic.warning ~code:"UF104" ~path:[ "top"; "ch" ] "protocol";
+            A.Diagnostic.make A.Diagnostic.Info ~code:"UF001" ~path:[] "note";
+          ]
+        in
+        List.iter
+          (fun d ->
+            match A.Diagnostic.of_json (A.Diagnostic.to_json d) with
+            | Ok d' -> checkb "round-trips" (d = d')
+            | Error e -> Alcotest.fail e)
+          ds;
+        match A.Diagnostic.list_of_json (A.Diagnostic.list_to_json ~file:"m.xml" ds) with
+        | Ok (file, ds') ->
+            check Alcotest.(option string) "file" (Some "m.xml") file;
+            checkb "list round-trips" (ds = ds')
+        | Error e -> Alcotest.fail e);
+    test "Diagnostic round-trips through printed bytes" (fun () ->
+        let ds = [ A.Diagnostic.error ~code:"UF902" ~path:[ "flow" ] "rejected" ] in
+        let bytes = Json.to_string (A.Diagnostic.list_to_json ds) in
+        match Json.parse bytes with
+        | Error e -> Alcotest.fail e
+        | Ok json -> (
+            match A.Diagnostic.list_of_json json with
+            | Ok (None, ds') -> checkb "same diagnostics" (ds = ds')
+            | Ok (Some _, _) -> Alcotest.fail "no file expected"
+            | Error e -> Alcotest.fail e));
+    test "Conform.report_of_json inverts to_json (synthetic verdicts)" (fun () ->
+        let report =
+          {
+            Conf.model_name = "m";
+            rounds = 7;
+            outputs = [ "Out1"; "Out2" ];
+            verdicts =
+              [
+                (Conf.Seq, Conf.Agree);
+                ( Conf.Compiled_exec,
+                  Conf.Disagree
+                    (Conf.Trace
+                       {
+                         round = 3;
+                         port = "Out1";
+                         expected = 1.5;
+                         actual = 2.25;
+                         provenance =
+                           Some
+                             {
+                               Conf.prov_block = "B";
+                               prov_firing = 4;
+                               prov_channel = "A/o->B/i";
+                               prov_protocols = [ "HSFIFO" ];
+                             };
+                       }) );
+                (Conf.Kpn, Conf.Disagree (Conf.Crash "deadlock"));
+                (Conf.Kpn_src, Conf.Disagree (Conf.Structure "missing filter"));
+                (Conf.C, Conf.Backend_unavailable "no cc");
+              ];
+          }
+        in
+        let bytes = Json.to_string (Conf.to_json report) in
+        match Json.parse bytes with
+        | Error e -> Alcotest.fail e
+        | Ok json -> (
+            match Conf.report_of_json json with
+            | Ok r -> checkb "report round-trips" (r = report)
+            | Error e -> Alcotest.fail e));
+    test "Conform round-trip on a real check" (fun () ->
+        let caam = (Core.Flow.run (CS.Didactic.model ())).Core.Flow.caam in
+        let report =
+          Conf.check ~backends:[ Conf.Seq; Conf.Compiled_exec ] ~rounds:5 caam
+        in
+        match Json.parse (Json.to_string (Conf.to_json report)) with
+        | Error e -> Alcotest.fail e
+        | Ok json -> (
+            match Conf.report_of_json json with
+            | Ok r -> checkb "round-trips" (r = report)
+            | Error e -> Alcotest.fail e));
+  ]
+
+(* --- live server helpers --------------------------------------------- *)
+
+let with_server ?(config = Server.default_config) f =
+  let server = Server.start ~config:{ config with Server.port = 0 } () in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let post server target body = Client.post ~port:(Server.port server) target body
+let get server target = Client.get ~port:(Server.port server) target
+
+let exe = Filename.concat ".." (Filename.concat "bin" "umlfront.exe")
+
+let run_cli args =
+  let out = Filename.temp_file "umlfront_serve" ".out" in
+  let code = Sys.command (Printf.sprintf "%s %s >%s 2>/dev/null" exe args out) in
+  let s = read_file out in
+  Sys.remove out;
+  (code, s)
+
+let save_xmi xmi =
+  let file = Filename.temp_file "umlfront_serve" ".xml" in
+  Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc xmi);
+  file
+
+(* --- e2e: endpoints, parity, failure paths --------------------------- *)
+
+let e2e_tests =
+  [
+    test "healthz, metrics and journal answer" (fun () ->
+        with_server @@ fun s ->
+        let h = get s "/healthz" in
+        check Alcotest.int "healthz 200" 200 h.Client.status;
+        checkb "says ok" (Astring_contains.contains h.Client.body "\"status\":\"ok\"");
+        let m = get s "/metrics" in
+        check Alcotest.int "metrics 200" 200 m.Client.status;
+        checkb "openmetrics ends with EOF"
+          (Astring_contains.contains m.Client.body "# EOF");
+        let j = get s "/journal" in
+        check Alcotest.int "journal 200" 200 j.Client.status;
+        checkb "journal is JSON" (Result.is_ok (Json.parse j.Client.body)));
+    test "every compute endpoint answers 200 with the promised members" (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        let expect target members =
+          let r = post s target xmi in
+          check Alcotest.int (target ^ " status") 200 r.Client.status;
+          List.iter
+            (fun m ->
+              checkb (target ^ " has " ^ m) (Astring_contains.contains r.Client.body m))
+            members
+        in
+        expect "/api/lint" [ "\"diagnostics\"" ];
+        expect "/api/transform"
+          [ "\"allocation\""; "\"intra_channels\""; "\"mdl\""; "\"broken_cycles\"" ];
+        expect "/api/simulate?rounds=5" [ "\"traces\""; "\"firings\""; "\"rounds\":5" ];
+        expect "/api/simulate?rounds=5&engine=compiled" [ "\"engine\":\"compiled\"" ];
+        expect "/api/conform?backends=seq,compiled&rounds=5"
+          [ "\"verdicts\""; "\"agree\"" ];
+        expect "/api/generate/c" [ "\"language\":\"c\""; "\"files\"" ];
+        expect "/api/generate/java" [ "\"language\":\"java\""; "GeneratedModel.java" ];
+        expect "/api/generate/kpn" [ "\"language\":\"kpn\""; "model_kpn.ml" ]);
+    test "lint body is byte-identical to `umlfront lint --format json`" (fun () ->
+        with_server @@ fun s ->
+        List.iter
+          (fun xmi ->
+            let file = save_xmi xmi in
+            let code, cli = run_cli ("lint --format json " ^ Filename.quote file) in
+            check Alcotest.int "cli exits 0" 0 code;
+            let r = post s ("/api/lint?file=" ^ file) xmi in
+            Sys.remove file;
+            check Alcotest.int "200" 200 r.Client.status;
+            check Alcotest.string "identical bytes" cli r.Client.body)
+          [ Lazy.force didactic_xmi; Lazy.force crane_xmi ]);
+    test "conform body is byte-identical to `umlfront conform --format json`"
+      (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        let file = save_xmi xmi in
+        let code, cli =
+          run_cli
+            ("conform --format json --backends seq,compiled --rounds 5 "
+           ^ Filename.quote file)
+        in
+        Sys.remove file;
+        check Alcotest.int "cli exits 0" 0 code;
+        let r = post s "/api/conform?backends=seq,compiled&rounds=5" xmi in
+        check Alcotest.int "200" 200 r.Client.status;
+        check Alcotest.string "identical bytes" cli r.Client.body);
+    test "malformed XMI is 422 with a UF901 diagnostic body" (fun () ->
+        with_server @@ fun s ->
+        let r = post s "/api/lint" "<uml:Model" in
+        check Alcotest.int "422" 422 r.Client.status;
+        match Json.parse r.Client.body with
+        | Error e -> Alcotest.fail e
+        | Ok (Json.List [ entry ]) -> (
+            match A.Diagnostic.list_of_json entry with
+            | Ok (None, [ d ]) ->
+                check Alcotest.string "code" "UF901" d.A.Diagnostic.code;
+                checkb "severity error" (d.A.Diagnostic.severity = A.Diagnostic.Error);
+                checkb "hint present" (d.A.Diagnostic.hint <> None)
+            | Ok _ -> Alcotest.fail "exactly one diagnostic expected"
+            | Error e -> Alcotest.fail e)
+        | Ok _ -> Alcotest.fail "a one-element JSON list expected");
+    test "a model the flow rejects is 422 with a UF902 diagnostic" (fun () ->
+        with_server @@ fun s ->
+        (* Use_deployment on a model with no deployment diagram. *)
+        let xmi = U.Xmi.to_string (CS.Mjpeg_system.model ()) in
+        let r = post s "/api/transform?strategy=deployment" xmi in
+        check Alcotest.int "422" 422 r.Client.status;
+        checkb "UF902" (Astring_contains.contains r.Client.body "UF902"));
+    test "unknown routes are 404, wrong methods 405 with Allow" (fun () ->
+        with_server @@ fun s ->
+        check Alcotest.int "404" 404 (get s "/api/nope").Client.status;
+        check Alcotest.int "404 root" 404 (get s "/").Client.status;
+        let r = get s "/api/lint" in
+        check Alcotest.int "405" 405 r.Client.status;
+        check Alcotest.(option string) "Allow" (Some "POST") (Client.header r "allow");
+        let r = post s "/healthz" "x" in
+        check Alcotest.int "405 healthz" 405 r.Client.status);
+    test "bad query parameters are 400" (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        check Alcotest.int "unknown key" 400 (post s "/api/lint?typo=1" xmi).Client.status;
+        check Alcotest.int "bad rounds" 400
+          (post s "/api/simulate?rounds=zero" xmi).Client.status;
+        check Alcotest.int "bad engine" 400
+          (post s "/api/simulate?engine=warp" xmi).Client.status);
+    test "oversized request body is 413" (fun () ->
+        with_server
+          ~config:{ Server.default_config with Server.max_body = 1024 }
+        @@ fun s ->
+        let r = post s "/api/lint" (String.make 2048 'x') in
+        check Alcotest.int "413" 413 r.Client.status);
+    test "identical requests hit the cache; options changes miss" (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        let a = post s "/api/simulate?rounds=5" xmi in
+        check Alcotest.(option string) "first is a miss" (Some "miss")
+          (Client.header a "x-cache");
+        let b = post s "/api/simulate?rounds=5" xmi in
+        check Alcotest.(option string) "second is a hit" (Some "hit")
+          (Client.header b "x-cache");
+        check Alcotest.string "identical bytes" a.Client.body b.Client.body;
+        let c = post s "/api/simulate?rounds=6" xmi in
+        check Alcotest.(option string) "changed rounds misses" (Some "miss")
+          (Client.header c "x-cache");
+        let m = (get s "/metrics").Client.body in
+        checkb "hit counted in /metrics"
+          (Astring_contains.contains m "umlfront_serve_cache_hit_total 1"));
+    test "overload answers 503 with Retry-After, then recovers" (fun () ->
+        with_server
+          ~config:
+            {
+              Server.default_config with
+              Server.pool = 1;
+              max_inflight = 2;
+              timeout_s = 5.;
+            }
+        @@ fun s ->
+        let open_conn () =
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port s));
+          fd
+        in
+        let held = [ open_conn (); open_conn () ] in
+        (* Wait until the acceptor has admitted both idle connections. *)
+        let rec wait n =
+          if Server.inflight s < 2 && n > 0 then (
+            Unix.sleepf 0.01;
+            wait (n - 1))
+        in
+        wait 500;
+        check Alcotest.int "both admitted" 2 (Server.inflight s);
+        let r = get s "/healthz" in
+        check Alcotest.int "503" 503 r.Client.status;
+        check Alcotest.(option string) "Retry-After" (Some "1")
+          (Client.header r "retry-after");
+        List.iter Unix.close held;
+        let rec drain n =
+          if Server.inflight s > 0 && n > 0 then (
+            Unix.sleepf 0.01;
+            drain (n - 1))
+        in
+        drain 500;
+        check Alcotest.int "recovered" 200 (get s "/healthz").Client.status);
+    test "pipelined requests on one raw socket are answered in order" (fun () ->
+        with_server @@ fun s ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port s));
+        let xmi = Lazy.force didactic_xmi in
+        let one target ~last =
+          Printf.sprintf "POST %s HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n%s\r\n%s"
+            target (String.length xmi)
+            (if last then "Connection: close\r\n" else "")
+            xmi
+        in
+        let raw = one "/api/lint" ~last:false ^ one "/api/transform" ~last:true in
+        let rec send off =
+          if off < String.length raw then
+            send (off + Unix.write_substring fd raw off (String.length raw - off))
+        in
+        send 0;
+        let buf = Bytes.create 65536 in
+        let acc = Buffer.create 65536 in
+        let rec read_all () =
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes acc buf 0 n;
+              read_all ()
+        in
+        read_all ();
+        let all = Buffer.contents acc in
+        let first_at = Astring_contains.find all "\"diagnostics\"" in
+        let second_at = Astring_contains.find all "\"allocation\"" in
+        checkb "both responses present" (first_at >= 0 && second_at >= 0);
+        checkb "lint answered before transform" (first_at < second_at);
+        checkb "two status lines"
+          (Astring_contains.count all "HTTP/1.1 200 OK" = 2));
+  ]
+
+(* --- the hammer ------------------------------------------------------ *)
+
+(* Deterministic request vocabulary: every endpoint flavor over a set
+   of lint-clean random models drawn from all six generator shapes. *)
+let hammer_models seed =
+  let shapes =
+    [
+      ("pipeline", fun s -> R.pipeline ~seed:s ~threads:3 ~extra_edges:1);
+      ("wide", fun s -> R.wide ~seed:s ~branches:3 ~depth:2);
+      ("monolithic", fun s -> R.monolithic ~seed:s ~calls:5);
+      ("cyclic", fun s -> R.cyclic ~seed:s ~stages:2);
+      ("multi-cpu", fun s -> R.multi_cpu ~seed:s ~threads:4 ~cpus:2 ~extra_edges:1);
+      ("chatty", fun s -> R.chatty ~seed:s ~threads:3 ~width:2);
+    ]
+  in
+  List.filter_map
+    (fun (shape, gen) ->
+      (* Find a lint-clean instance within a few seed probes so every
+         request in the hammer is a 200. *)
+      let rec probe k =
+        if k >= 10 then None
+        else
+          let uml = gen (seed + k) in
+          match Core.Flow.run uml with
+          | output when A.Lint.check ~uml output.Core.Flow.caam = [] ->
+              Some (shape, U.Xmi.to_string uml)
+          | _ -> probe (k + 1)
+          | exception Invalid_argument _ -> probe (k + 1)
+      in
+      probe 0)
+    shapes
+
+let hammer_targets =
+  [
+    "/api/lint";
+    "/api/transform";
+    "/api/simulate?rounds=5";
+    "/api/simulate?rounds=5&engine=compiled";
+    "/api/generate/c?rounds=4";
+    "/api/generate/java";
+    "/api/generate/kpn";
+    "/api/conform?backends=seq&rounds=5";
+  ]
+
+let metrics_counter body name =
+  let needle = name ^ " " in
+  let rec scan = function
+    | [] -> None
+    | line :: rest ->
+        if String.length line > String.length needle
+           && String.sub line 0 (String.length needle) = needle
+        then
+          int_of_string_opt
+            (String.trim
+               (String.sub line (String.length needle)
+                  (String.length line - String.length needle)))
+        else scan rest
+  in
+  scan (String.split_on_char '\n' body)
+
+(* Sequential replay on a private server: the reference bodies and
+   per-request span counts every concurrent run must reproduce. *)
+let sequential_reference requests =
+  with_server ~config:{ Server.default_config with Server.pool = 1 } @@ fun s ->
+  List.map
+    (fun (target, xmi) ->
+      let r = post s target xmi in
+      if r.Client.status <> 200 then
+        Alcotest.failf "reference %s: status %d (%s)" target r.Client.status
+          r.Client.body;
+      let spans =
+        match Client.header r "x-request-spans" with
+        | Some n -> int_of_string n
+        | None -> -1
+      in
+      ((target, xmi), (r.Client.body, spans)))
+    requests
+
+let run_hammer ~seed ~total ~clients =
+  let models = hammer_models seed in
+  checkb "generators produced models" (List.length models >= 4);
+  let unique =
+    List.concat_map
+      (fun (_, xmi) -> List.map (fun t -> (t, xmi)) hammer_targets)
+      models
+  in
+  let reference = sequential_reference unique in
+  (* The concurrent run: [total] requests (unique vocabulary cycled, so
+     duplicates exercise the cache) split across [clients] domains
+     against one shared server. *)
+  let requests =
+    Array.init total (fun i -> List.nth unique (i mod List.length unique))
+  in
+  (* Deterministic shuffle so neighbours in time are mixed endpoints. *)
+  let st = Random.State.make [| seed; 0xbeef |] in
+  for i = Array.length requests - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = requests.(i) in
+    requests.(i) <- requests.(j);
+    requests.(j) <- tmp
+  done;
+  with_server
+    ~config:{ Server.default_config with Server.pool = 4; max_inflight = 64 }
+  @@ fun s ->
+  let port = Server.port s in
+  let slice c =
+    let rec go i acc =
+      if i >= Array.length requests then List.rev acc
+      else go (i + clients) (requests.(i) :: acc)
+    in
+    go c []
+  in
+  let worker c () =
+    List.map
+      (fun (target, xmi) ->
+        let r = Client.post ~port target xmi in
+        ( (target, xmi),
+          r.Client.status,
+          r.Client.body,
+          Client.header r "x-cache",
+          Client.header r "x-request-spans" ))
+      (slice c)
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (worker c)) in
+  let results = List.concat_map Domain.join domains in
+  check Alcotest.int "all requests answered" total (List.length results);
+  let hits = ref 0 and misses = ref 0 in
+  List.iter
+    (fun (key, status, body, cache, spans) ->
+      let target = fst key in
+      check Alcotest.int (target ^ " status") 200 status;
+      let ref_body, ref_spans = List.assoc key reference in
+      check Alcotest.string (target ^ " deterministic body") ref_body body;
+      match cache with
+      | Some "hit" -> incr hits
+      | Some "miss" ->
+          incr misses;
+          (* Telemetry isolation: a computed request records exactly
+             the spans the sequential replay recorded — a context bled
+             into by a concurrent request would count extra events. *)
+          check
+            Alcotest.(option string)
+            (target ^ " span count stable")
+            (Some (string_of_int ref_spans))
+            spans
+      | _ -> Alcotest.failf "%s: missing X-Cache header" target)
+    results;
+  checkb "cache hits observed" (!hits > 0);
+  check Alcotest.int "hits + misses = total" total (!hits + !misses);
+  (* The server-side view agrees: hit ratio > 0, and every miss ran the
+     flow exactly once (no double work, no lost merges). *)
+  let m = (get s "/metrics").Client.body in
+  (match metrics_counter m "umlfront_serve_cache_hit_total" with
+  | Some n -> check Alcotest.int "server-side hits" !hits n
+  | None -> Alcotest.fail "umlfront_serve_cache_hit_total missing");
+  match
+    ( metrics_counter m "umlfront_flow_runs_total",
+      metrics_counter m "umlfront_serve_cache_miss_total" )
+  with
+  | Some flows, Some miss -> check Alcotest.int "flow runs == cache misses" miss flows
+  | _ -> Alcotest.fail "flow/miss counters missing from /metrics"
+
+let hammer_tests =
+  [
+    Alcotest.test_case
+      "200 concurrent mixed requests = sequential replay (8 clients)" `Slow
+      (fun () -> run_hammer ~seed:7 ~total:200 ~clients:8);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:2
+         ~name:"concurrent serving is deterministic across seeds"
+         (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000))
+         (fun seed ->
+           run_hammer ~seed:(seed + 11) ~total:64 ~clients:4;
+           true));
+  ]
+
+let suite =
+  [
+    ("serve:sha256", sha256_tests);
+    ("serve:http", http_tests);
+    ("serve:cache", cache_tests);
+    ("serve:api", api_tests);
+    ("serve:json", roundtrip_tests);
+    ("serve:e2e", e2e_tests);
+    ("serve:hammer", hammer_tests);
+  ]
