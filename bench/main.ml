@@ -715,12 +715,14 @@ let serve_bench ~smoke ~outdir () =
       (fun target -> [ (target, didactic); (target, crane) ])
       [ "/api/lint"; "/api/transform"; "/api/simulate?rounds=16" ]
   in
-  let bench_row clients =
+  let bench_row ?(access_log = None) ?(trace_sample = 0.0) ?(extra = []) clients =
     let config =
       {
         Serve.Server.default_config with
         Serve.Server.pool = min 4 (Pool.cpu_count ());
         max_inflight = 64;
+        access_log;
+        trace_sample;
       }
     in
     let server = Serve.Server.start ~config () in
@@ -765,17 +767,37 @@ let serve_bench ~smoke ~outdir () =
        hit ratio %.2f\n"
       clients total req_per_s p50 p95 hit_ratio;
     Json.Obj
-      [
-        ("clients", Json.Int clients);
-        ("requests", Json.Int total);
-        ("ok", Json.Int (Array.length sorted));
-        ("req_per_s", Json.Float req_per_s);
-        ("p50_ms", Json.Float p50);
-        ("p95_ms", Json.Float p95);
-        ("hit_ratio", Json.Float hit_ratio);
-      ]
+      ([
+         ("clients", Json.Int clients);
+         ("requests", Json.Int total);
+         ("ok", Json.Int (Array.length sorted));
+         ("req_per_s", Json.Float req_per_s);
+         ("p50_ms", Json.Float p50);
+         ("p95_ms", Json.Float p95);
+         ("hit_ratio", Json.Float hit_ratio);
+       ]
+      @ extra)
   in
-  let rows = List.map bench_row client_counts in
+  let rows = List.map (fun c -> bench_row c) client_counts in
+  (* The cost of watching: the same 4-client row with the full
+     observability pipeline on — JSONL access log plus 100% span
+     retention — against the plain row above.  Both series land in the
+     document so bench-diff gates the overhead like any other
+     regression. *)
+  let obs_rows =
+    List.map
+      (fun (mode, on) ->
+        let log = Filename.temp_file "umlfront_bench_access" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+        @@ fun () ->
+        row "  observability %-3s:" mode;
+        bench_row 4
+          ~access_log:(if on then Some log else None)
+          ~trace_sample:(if on then 1.0 else 0.0)
+          ~extra:[ ("mode", Json.String mode) ])
+      [ ("off", false); ("on", true) ]
+  in
   write_json ~outdir "BENCH_serve.json"
     (Json.Obj
        [
@@ -785,6 +807,7 @@ let serve_bench ~smoke ~outdir () =
          ("requests_per_client", Json.Int requests_per_client);
          ("mix", Json.List (List.map (fun (t, _) -> Json.String t) mix));
          ("rows", Json.List rows);
+         ("observability", Json.List obs_rows);
        ])
 
 let () =

@@ -15,7 +15,9 @@
    - umlfront-bench-serve/1: per client count (matched by [clients]),
      req/s — higher is better — and p50/p95 latency ms — lower is
      better — plus the cache hit ratio, which is a counting property
-     and is judged on any hardware.
+     and is judged on any hardware; the observability A/B rows
+     (matched by [mode]) gate the cost of the access log + trace
+     retention pipeline the same way.
 
    Multi-domain timing findings are hardware-gated: both documents
    record [hardware_domains] (what the runner actually had), and a
@@ -241,6 +243,33 @@ let serve_findings ~tolerance base current =
           @ num_finding ~tolerance ~direction:Higher_better "hit_ratio" label old
               cur)
     (rows current)
+  @
+  (* The observability A/B series (same row, watching on vs off):
+     matched by mode, judged like any other load row. *)
+  let obs_rows doc =
+    match Json.member "observability" doc with
+    | Some l ->
+        List.filter_map
+          (fun r -> Option.map (fun m -> (m, r)) (member_str "mode" r))
+          (Json.items l)
+    | None -> []
+  in
+  let base_obs = obs_rows base in
+  List.concat_map
+    (fun (mode, cur) ->
+      match List.assoc_opt mode base_obs with
+      | None -> []
+      | Some old ->
+          let clients =
+            match member_num "clients" cur with Some c -> int_of_float c | None -> 1
+          in
+          if provisioned ~base ~current clients then
+            let label = "serve.obs." ^ mode in
+            num_finding ~tolerance ~direction:Higher_better "req_per_s" label old
+              cur
+            @ num_finding ~tolerance ~direction:Lower_better "p95_ms" label old cur
+          else [])
+    (obs_rows current)
 
 (* --- entry points --------------------------------------------------- *)
 

@@ -83,8 +83,10 @@ let set_capacity n =
   s.next_seq <- 0;
   s.dropped <- 0
 
-let record ?(fields = []) kind =
-  let s = current () in
+(* Append directly into [s], bypassing the domain-local current sink —
+   what a daemon uses to land access entries in its root journal from
+   whichever worker domain handled the request. *)
+let record_in s ?(fields = []) kind =
   let ts = now_us_in s in
   locked s @@ fun () ->
   let slot = s.next_seq mod Array.length s.ring in
@@ -92,6 +94,8 @@ let record ?(fields = []) kind =
   s.ring.(slot) <-
     Some { j_seq = s.next_seq; j_ts_us = ts; j_kind = kind; j_fields = fields };
   s.next_seq <- s.next_seq + 1
+
+let record ?fields kind = record_in (current ()) ?fields kind
 
 let dropped () =
   let s = current () in

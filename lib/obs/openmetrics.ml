@@ -5,7 +5,16 @@
    a `umlfront_` prefix with registry names sanitized to the metric
    charset ([a-zA-Z0-9_:]).  The output ends with `# EOF` as the
    OpenMetrics spec requires, so it can be served verbatim to a
-   scraper or diffed in tests. *)
+   scraper or diffed in tests.
+
+   A registry name may carry a label block built by {!labeled}:
+   `serve.requests{endpoint="/api/lint",status="200"}`.  Such names
+   render as proper labeled series of one family — the base name is
+   sanitized, the label block passes through, and the `# TYPE` line is
+   emitted once per family (the snapshot is sorted, so a family's
+   points are adjacent).  Names without a label block follow exactly
+   the historical path, byte for byte (pinned by the
+   openmetrics.unlabeled.txt golden). *)
 
 let sanitize name =
   String.map
@@ -17,34 +26,92 @@ let sanitize name =
 
 let metric_name s = "umlfront_" ^ sanitize s
 
+(* --- labels ---------------------------------------------------------- *)
+
+(* Split `base{labels}` into the base name and the raw label block.
+   Anything not shaped like a trailing `{...}` is treated as a plain
+   (label-less) name and left to [sanitize]. *)
+let split_labels name =
+  let n = String.length name in
+  match String.index_opt name '{' with
+  | Some i when n > i + 1 && name.[n - 1] = '}' ->
+      (String.sub name 0 i, Some (String.sub name (i + 1) (n - i - 2)))
+  | Some _ | None -> (name, None)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* [labeled "serve.requests" [("endpoint", "/api/lint")]] is the
+   registry-name spelling of a labeled series; record into it with the
+   ordinary {!Metrics} calls.  Label names are sanitized, values
+   escaped per the OpenMetrics text format. *)
+let labeled base labels =
+  match labels with
+  | [] -> base
+  | _ ->
+      base ^ "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> sanitize k ^ "=\"" ^ escape_label_value v ^ "\"")
+             labels)
+      ^ "}"
+
 (* OpenMetrics floats: finite decimal, NaN spelled "NaN". *)
 let value v =
   if Float.is_nan v then "NaN"
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
-let render_stat buf (s : Metrics.stat) =
-  let name = metric_name s.Metrics.s_name in
+let render_stat buf typed (s : Metrics.stat) =
+  let base, labels = split_labels s.Metrics.s_name in
+  let name = metric_name base in
   let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let type_line kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      line "# TYPE %s %s\n" name kind
+    end
+  in
+  (* `suffix` goes before the label block (`_total`, `_sum`, ...);
+     `extra` is spliced into it (the summary quantile label). *)
+  let series ?(suffix = "") ?extra () =
+    match (labels, extra) with
+    | None, None -> name ^ suffix
+    | None, Some e -> Printf.sprintf "%s%s{%s}" name suffix e
+    | Some l, None -> Printf.sprintf "%s%s{%s}" name suffix l
+    | Some l, Some e -> Printf.sprintf "%s%s{%s,%s}" name suffix l e
+  in
   match s.Metrics.s_kind with
   | "counter" ->
-      line "# TYPE %s counter\n" name;
-      line "%s_total %d\n" name s.Metrics.s_count
+      type_line "counter";
+      line "%s %d\n" (series ~suffix:"_total" ()) s.Metrics.s_count
   | "gauge" ->
-      line "# TYPE %s gauge\n" name;
-      line "%s %s\n" name (value s.Metrics.s_value)
+      type_line "gauge";
+      line "%s %s\n" (series ()) (value s.Metrics.s_value)
   | _ ->
       (* histogram: exported as a summary — the registry keeps exact
          count plus sampled quantiles, not cumulative buckets. *)
-      line "# TYPE %s summary\n" name;
+      type_line "summary";
       List.iter
-        (fun (q, v) -> line "%s{quantile=\"%s\"} %s\n" name q (value v))
+        (fun (q, v) ->
+          line "%s %s\n"
+            (series ~extra:(Printf.sprintf "quantile=\"%s\"" q) ())
+            (value v))
         [
           ("0.5", s.Metrics.s_p50); ("0.95", s.Metrics.s_p95); ("0.99", s.Metrics.s_p99);
         ];
-      line "%s_sum %s\n" name
+      line "%s %s\n" (series ~suffix:"_sum" ())
         (value (s.Metrics.s_value *. float_of_int s.Metrics.s_count));
-      line "%s_count %d\n" name s.Metrics.s_count
+      line "%s %d\n" (series ~suffix:"_count" ()) s.Metrics.s_count
 
 (* Optional sink-health series appended after the registry snapshot:
    journal ring drops (a counter — drops only ever grow) and the span
@@ -54,7 +121,8 @@ let render_stat buf (s : Metrics.stat) =
    current context's sink health alongside. *)
 let render ?journal_dropped ?span_buffer_hwm ?span_nesting_hwm stats =
   let buf = Buffer.create 1024 in
-  List.iter (render_stat buf) stats;
+  let typed = Hashtbl.create 16 in
+  List.iter (render_stat buf typed) stats;
   let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   Option.iter
     (fun n ->

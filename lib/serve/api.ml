@@ -37,6 +37,7 @@ type options = {
   engine : Conf.engine;
   backends : Conf.backend list option;
   file : string option;
+  trace : bool;
 }
 
 let default_options =
@@ -46,6 +47,7 @@ let default_options =
     engine = `Seq;
     backends = None;
     file = None;
+    trace = false;
   }
 
 let max_rounds = 10_000
@@ -94,6 +96,11 @@ let options_of_query query =
             in
             fold { opts with backends = Some (List.rev backends) } cpus rest
         | "file" -> fold { opts with file = Some value } cpus rest
+        | "trace" -> (
+            match value with
+            | "1" | "true" -> fold { opts with trace = true } cpus rest
+            | "0" | "false" -> fold { opts with trace = false } cpus rest
+            | other -> Error (Printf.sprintf "invalid trace %S" other))
         | other -> Error (Printf.sprintf "unknown query parameter %S" other))
   in
   match fold default_options None query with

@@ -43,6 +43,10 @@ type options = {
   backends : Umlfront_conformance.Conform.backend list option;
       (** conform only; [None] = all *)
   file : string option;  (** echoed in the lint JSON, CLI-style *)
+  trace : bool;
+      (** retain this request's span tree ([?trace=1]).  Deliberately
+          {e not} part of {!cache_key}: tracing a request must not
+          change what it computes or where it caches. *)
 }
 
 val default_options : options
@@ -52,8 +56,8 @@ val options_of_query : (string * string) list -> (options, string) result
 (** Query vocabulary: [strategy=deployment|prefer-deployment|linear],
     [cpus=N] (bounded inference, wins over [strategy] as in the CLI),
     [rounds=N] (1..10000), [engine=seq|compiled], [backends=a,b,...],
-    [file=PATH].  Unknown keys are rejected — a typo must not silently
-    select a default. *)
+    [file=PATH], [trace=0|1].  Unknown keys are rejected — a typo must
+    not silently select a default. *)
 
 val parse_model :
   string -> (Umlfront_uml.Model.t, Umlfront_analysis.Diagnostic.t) result

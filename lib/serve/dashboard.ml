@@ -1,0 +1,86 @@
+(* The live dashboard: one self-contained HTML page (no external
+   assets, same deal as {!Umlfront_obs.Html_report}) whose script opens
+   an [EventSource] on [/events] and repaints two tables from what the
+   stream carries — "window" frames (the rolling {!Umlfront_obs.Window}
+   snapshot, also the heartbeat) and "request" frames (one per request
+   served).  The CSS is the report's stylesheet, so the daemon's live
+   view and the offline run report look like the same tool. *)
+
+module Html_report = Umlfront_obs.Html_report
+
+let script =
+  {js|
+  const fmt = (v, d) => v == null || isNaN(v) ? "-" : Number(v).toFixed(d);
+  const esc = s => String(s).replace(/[&<>"]/g,
+    c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+  const recent = [];
+  function paintWindows(snap) {
+    const windows = snap.windows || [];
+    const names = new Set();
+    windows.forEach(w => Object.keys(w.series || {}).forEach(n => names.add(n)));
+    const byW = (name, i, f) => {
+      const s = windows[i] && windows[i].series && windows[i].series[name];
+      return s ? f(s) : null;
+    };
+    let html = "<tr><th>endpoint</th><th>req/s 10s</th><th>req/s 1m</th>" +
+      "<th>req/s 5m</th><th>p50 ms 1m</th><th>p95 ms 1m</th><th>p99 ms 1m</th></tr>";
+    [...names].sort().forEach(name => {
+      html += "<tr><td>" + esc(name) + "</td>" +
+        "<td>" + fmt(byW(name, 0, s => s.rate), 2) + "</td>" +
+        "<td>" + fmt(byW(name, 1, s => s.rate), 2) + "</td>" +
+        "<td>" + fmt(byW(name, 2, s => s.rate), 2) + "</td>" +
+        "<td>" + fmt(byW(name, 1, s => s.p50 / 1000), 2) + "</td>" +
+        "<td>" + fmt(byW(name, 1, s => s.p95 / 1000), 2) + "</td>" +
+        "<td>" + fmt(byW(name, 1, s => s.p99 / 1000), 2) + "</td></tr>";
+    });
+    document.getElementById("windows").innerHTML = html;
+  }
+  function paintRequests() {
+    let html = "<tr><th>id</th><th>endpoint</th><th>status</th><th>cache</th>" +
+      "<th>ms</th><th>spans</th><th>trace</th></tr>";
+    recent.forEach(r => {
+      const trace = r.trace_stored
+        ? '<a href="/api/trace/' + esc(r.id) + '">' + esc(r.trace_id || r.id) + "</a>"
+        : esc(r.trace_id || "-");
+      html += "<tr><td>" + esc(r.id) + "</td><td>" + esc(r.endpoint) +
+        "</td><td>" + esc(r.status) + "</td><td>" + esc(r.cache || "-") +
+        "</td><td>" + fmt(r.latency_us / 1000, 2) + "</td><td>" +
+        esc(r.spans) + "</td><td>" + trace + "</td></tr>";
+    });
+    document.getElementById("requests").innerHTML = html;
+  }
+  const es = new EventSource("/events");
+  es.addEventListener("hello", e => {
+    document.getElementById("status").textContent =
+      "connected - " + e.data;
+  });
+  es.addEventListener("window", e => paintWindows(JSON.parse(e.data)));
+  es.addEventListener("request", e => {
+    recent.unshift(JSON.parse(e.data));
+    if (recent.length > 50) recent.pop();
+    paintRequests();
+  });
+  es.onerror = () => {
+    document.getElementById("status").textContent = "disconnected - retrying";
+  };
+  paintRequests();
+|js}
+
+let page () =
+  let buf = Buffer.create 4096 in
+  let out s = Buffer.add_string buf s in
+  out "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  out "<title>umlfront serve - live</title>\n";
+  out "<style>";
+  out Html_report.style;
+  out "</style>\n</head>\n<body>\n";
+  out "<h1>umlfront serve - live</h1>\n";
+  out "<p id=\"status\">connecting to /events ...</p>\n";
+  out "<h2>Rolling windows (10s / 1m / 5m)</h2>\n";
+  out "<table id=\"windows\"><tr><th>endpoint</th></tr></table>\n";
+  out "<h2>Recent requests</h2>\n";
+  out "<table id=\"requests\"></table>\n";
+  out "<script>\n";
+  out script;
+  out "</script>\n</body>\n</html>\n";
+  Buffer.contents buf

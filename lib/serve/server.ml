@@ -7,8 +7,11 @@
    does admission control; each accepted connection becomes one
    fire-and-forget pool task that handles the whole keep-alive
    conversation.  The only cross-domain state is the cache (its own
-   mutex), the in-flight counter (atomic) and the root telemetry
-   context (merged into under [root_lock]). *)
+   mutex), the in-flight counter (atomic), the root telemetry context
+   (merged into under [root_lock]) and the observability fan-out —
+   rolling window, trace store, access log and SSE hub, each behind its
+   own lock, and the latter two doing their I/O on their own domains so
+   the request path never waits on a disk or a slow stream consumer. *)
 
 module Obs = Umlfront_obs
 module Json = Umlfront_obs.Json
@@ -21,6 +24,8 @@ type config = {
   max_inflight : int;
   timeout_s : float;
   max_body : int;
+  access_log : string option;
+  trace_sample : float;
 }
 
 let default_config =
@@ -31,6 +36,8 @@ let default_config =
     max_inflight = 64;
     timeout_s = 30.;
     max_body = 8 * 1024 * 1024;
+    access_log = None;
+    trace_sample = 0.;
   }
 
 type t = {
@@ -45,6 +52,10 @@ type t = {
   request_count : int Atomic.t;
   stopping : bool Atomic.t;
   started_at : float;
+  window : Obs.Window.t;
+  traces : Trace_store.t;
+  hub : Events_hub.t;
+  access : Access_log.t option;
   mutable acceptor : unit Domain.t option;
 }
 
@@ -52,6 +63,11 @@ let port t = t.bound_port
 let root t = t.root
 let cache_stats t = Cache.stats t.cache
 let inflight t = Atomic.get t.inflight_count
+let window t = t.window
+let subscribers t = Events_hub.subscribers t.hub
+let events_dropped t = Events_hub.dropped t.hub
+let access_log_dropped t =
+  match t.access with Some log -> Access_log.dropped log | None -> 0
 
 (* --- socket plumbing -------------------------------------------------- *)
 
@@ -92,6 +108,36 @@ let timeout_body =
        ])
   ^ "\n"
 
+(* Everything the observability fan-out wants to know about one served
+   request, next to the response itself. *)
+type reply = {
+  r_status : int;
+  r_content_type : string;
+  r_body : string;
+  r_headers : (string * string) list;
+  r_cache : string; (* "hit" | "miss" | "-" *)
+  r_spans : int;
+  r_model : string option; (* the content hash the cache keys on *)
+  r_trace_stored : bool;
+}
+
+let reply ?(headers = []) ?(cache = "-") ?(spans = 0) ?model
+    ?(trace_stored = false) status content_type body =
+  {
+    r_status = status;
+    r_content_type = content_type;
+    r_body = body;
+    r_headers = headers;
+    r_cache = cache;
+    r_spans = spans;
+    r_model = model;
+    r_trace_stored = trace_stored;
+  }
+
+let reply_error status message =
+  let status, ct, body = json_error status message in
+  reply status ct body
+
 let observe_request t ~endpoint ~status ~cache_state ~dur_us =
   let r = t.root.Obs.Context.metrics in
   Obs.Metrics.incr ~registry:r "serve.requests";
@@ -103,41 +149,82 @@ let observe_request t ~endpoint ~status ~cache_state ~dur_us =
   | None -> ());
   Obs.Metrics.observe ~registry:r "serve.request_us" dur_us
 
-(* One compute request: private context, deadline, cache, merge-back.
-   Returns (status, content_type, body, extra headers). *)
-let compute t endpoint (req : Http.request) =
-  let request_id = Atomic.fetch_and_add t.request_count 1 in
+(* Deterministic sampling on the request counter: rate 0.25 keeps every
+   request whose id falls in the first quarter of each block of 1000.
+   Reproducible under test, and immune to RNG state races. *)
+let sampled t request_id =
+  t.config.trace_sample > 0.
+  && float_of_int (request_id mod 1000) < t.config.trace_sample *. 1000.
+
+(* The retained span tree, as a Chrome trace object (same shape as
+   {!Obs.Trace.to_json}: traceEvents + displayTimeUnit + otherData). *)
+let chrome_trace ~request_id ~endpoint ~trace_id events =
+  let sorted = List.sort Obs.Trace.event_order events in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map Obs.Trace.event_json sorted));
+         ("displayTimeUnit", Json.String "ms");
+         ( "otherData",
+           Json.Obj
+             [
+               ("tool", Json.String "umlfront");
+               ("request", Json.Int request_id);
+               ("endpoint", Json.String endpoint);
+               ("trace_id", Json.String trace_id);
+             ] );
+       ])
+
+(* A cache hit computes nothing, so a traced hit retains a one-instant
+   tree that says exactly that. *)
+let hit_event =
+  {
+    Obs.Trace.ev_id = -1;
+    ev_parent = -1;
+    ev_name = "serve.cache.hit";
+    ev_cat = "serve";
+    ev_ph = 'i';
+    ev_ts = 0.0;
+    ev_dur = 0.0;
+    ev_tid = 1;
+    ev_args = [];
+  }
+
+(* One compute request: private context, deadline, cache, merge-back,
+   optional span-tree retention. *)
+let compute t ~request_id ~trace_id endpoint (req : Http.request) =
   match Api.options_of_query req.Http.query with
   | Error msg ->
       let status, ct, body = json_error 400 msg in
-      (status, ct, body, [ ("X-Request-Id", string_of_int request_id) ], "-")
+      reply status ct body
   | Ok opts -> (
       match Api.parse_model req.Http.body with
       | Error d ->
-          ( 422,
-            "application/json",
-            Json.to_string
-              (Json.List [ Umlfront_analysis.Diagnostic.list_to_json [ d ] ])
-            ^ "\n",
-            [ ("X-Request-Id", string_of_int request_id) ],
-            "-" )
+          reply 422 "application/json"
+            (Json.to_string
+               (Json.List [ Umlfront_analysis.Diagnostic.list_to_json [ d ] ])
+            ^ "\n")
       | Ok uml -> (
           let key = Api.cache_key endpoint opts uml in
+          let retain = opts.Api.trace || sampled t request_id in
+          let ep = Api.endpoint_name endpoint in
           match Cache.find t.cache key with
           | Some v ->
-              ( v.Cache.status,
-                v.Cache.content_type,
-                v.Cache.body,
-                [
-                  ("X-Cache", "hit"); ("X-Request-Id", string_of_int request_id);
-                ],
-                "hit" )
+              if retain then
+                Trace_store.add t.traces ~id:(string_of_int request_id)
+                  (chrome_trace ~request_id ~endpoint:ep ~trace_id
+                     [ hit_event ]);
+              reply
+                ~headers:[ ("X-Cache", "hit") ]
+                ~cache:"hit" ~model:key ~trace_stored:retain v.Cache.status
+                v.Cache.content_type v.Cache.body
           | None ->
               (* The private context: spans, counters and journal
                  entries of this request land here and nowhere else.
                  Only metrics and journal are merged back — absorbing
                  every request's span tree into a daemon-lifetime
-                 buffer would grow without bound. *)
+                 buffer would grow without bound; retained trees go to
+                 the bounded {!Trace_store} instead. *)
               let rctx = Obs.Context.create ~trace:true () in
               let deadline = Unix.gettimeofday () +. t.config.timeout_s in
               let outcome =
@@ -145,7 +232,7 @@ let compute t endpoint (req : Http.request) =
                     Obs.Journal.record
                       ~fields:
                         [
-                          ("endpoint", Json.String (Api.endpoint_name endpoint));
+                          ("endpoint", Json.String ep);
                           ("request", Json.Int request_id);
                         ]
                       "serve.request";
@@ -153,7 +240,11 @@ let compute t endpoint (req : Http.request) =
                     | o -> Ok o
                     | exception Api.Timeout -> Error `Timeout)
               in
-              let spans = List.length (Obs.Trace.events_in rctx.Obs.Context.trace) in
+              let events = Obs.Trace.events_in rctx.Obs.Context.trace in
+              let spans = List.length events in
+              if retain then
+                Trace_store.add t.traces ~id:(string_of_int request_id)
+                  (chrome_trace ~request_id ~endpoint:ep ~trace_id events);
               Mutex.lock t.root_lock;
               Obs.Metrics.merge ~into:t.root.Obs.Context.metrics
                 rctx.Obs.Context.metrics;
@@ -161,11 +252,7 @@ let compute t endpoint (req : Http.request) =
                 rctx.Obs.Context.journal;
               Mutex.unlock t.root_lock;
               let headers =
-                [
-                  ("X-Cache", "miss");
-                  ("X-Request-Id", string_of_int request_id);
-                  ("X-Request-Spans", string_of_int spans);
-                ]
+                [ ("X-Cache", "miss"); ("X-Request-Spans", string_of_int spans) ]
               in
               (match outcome with
               | Ok o ->
@@ -176,13 +263,14 @@ let compute t endpoint (req : Http.request) =
                         content_type = o.Api.content_type;
                         body = o.Api.body;
                       };
-                  (o.Api.status, o.Api.content_type, o.Api.body, headers, "miss")
+                  reply ~headers ~cache:"miss" ~spans ~model:key
+                    ~trace_stored:retain o.Api.status o.Api.content_type
+                    o.Api.body
               | Error `Timeout ->
-                  ( 503,
-                    "application/json",
-                    timeout_body,
-                    ("Retry-After", "1") :: headers,
-                    "miss" ))))
+                  reply
+                    ~headers:(("Retry-After", "1") :: headers)
+                    ~cache:"miss" ~spans ~model:key ~trace_stored:retain 503
+                    "application/json" timeout_body)))
 
 let metrics_body t =
   let r = t.root.Obs.Context.metrics in
@@ -197,6 +285,35 @@ let metrics_body t =
   Obs.Metrics.set_gauge ~registry:r "serve.cache.bytes" (float_of_int c.Cache.bytes);
   Obs.Metrics.set_gauge ~registry:r "serve.inflight"
     (float_of_int (Atomic.get t.inflight_count));
+  Obs.Metrics.set_gauge ~registry:r "serve.events.subscribers"
+    (float_of_int (Events_hub.subscribers t.hub));
+  (* The drop counters must exist from the first scrape, not from the
+     first drop. *)
+  Obs.Metrics.incr ~registry:r ~by:0 "access_log.dropped";
+  Obs.Metrics.incr ~registry:r ~by:0 "serve.events.dropped";
+  (* Rolling per-endpoint series out of the window, as labeled gauges:
+     the "right now" view next to the lifetime counters. *)
+  List.iter
+    (fun window_s ->
+      let wlabel = Printf.sprintf "%gs" window_s in
+      List.iter
+        (fun name ->
+          let labels = [ ("endpoint", name); ("window", wlabel) ] in
+          Obs.Metrics.set_gauge ~registry:r
+            (Obs.Openmetrics.labeled "serve.rolling.req_per_s" labels)
+            (Obs.Window.rate t.window ~window_s name);
+          let q = Obs.Window.quantiles t.window ~window_s name in
+          Obs.Metrics.set_gauge ~registry:r
+            (Obs.Openmetrics.labeled "serve.rolling.p50_us" labels)
+            q.Obs.Window.q_p50;
+          Obs.Metrics.set_gauge ~registry:r
+            (Obs.Openmetrics.labeled "serve.rolling.p95_us" labels)
+            q.Obs.Window.q_p95;
+          Obs.Metrics.set_gauge ~registry:r
+            (Obs.Openmetrics.labeled "serve.rolling.p99_us" labels)
+            q.Obs.Window.q_p99)
+        (Obs.Window.names t.window ~window_s:(Obs.Window.max_window_s t.window)))
+    Obs.Window.default_windows;
   Obs.Openmetrics.render (Obs.Metrics.snapshot ~registry:r ())
 
 let journal_body t =
@@ -219,37 +336,152 @@ let healthz_body t =
 
 let method_not_allowed allow =
   let status, ct, body = json_error 405 "method not allowed" in
-  (status, ct, body, [ ("Allow", allow) ], "-")
+  reply ~headers:[ ("Allow", allow) ] status ct body
 
-(* Route one decoded request to (status, content_type, body, headers). *)
-let handle t (req : Http.request) =
+let trace_route = "/api/trace/"
+
+(* Route one decoded request to a reply.  [/events] never reaches this
+   point — the conversation loop hands it to the hub. *)
+let handle t ~request_id ~trace_id (req : Http.request) =
   match Api.endpoint_of_path req.Http.path with
   | Some endpoint ->
-      if req.Http.meth = "POST" then compute t endpoint req
+      if req.Http.meth = "POST" then compute t ~request_id ~trace_id endpoint req
       else method_not_allowed "POST"
   | None -> (
       match (req.Http.meth, req.Http.path) with
-      | "GET", "/healthz" ->
-          (200, "application/json", healthz_body t, [], "-")
+      | "GET", "/healthz" -> reply 200 "application/json" (healthz_body t)
       | "GET", "/metrics" ->
-          ( 200,
-            "application/openmetrics-text; version=1.0.0; charset=utf-8",
-            metrics_body t,
-            [],
-            "-" )
-      | "GET", "/journal" -> (200, "application/json", journal_body t, [], "-")
-      | _, ("/healthz" | "/metrics" | "/journal") -> method_not_allowed "GET"
-      | ("GET" | "HEAD" | "POST"), _ ->
-          let status, ct, body = json_error 404 "no such route" in
-          (status, ct, body, [], "-")
+          reply 200 "application/openmetrics-text; version=1.0.0; charset=utf-8"
+            (metrics_body t)
+      | "GET", "/journal" -> reply 200 "application/json" (journal_body t)
+      | "GET", "/dashboard" -> reply 200 "text/html; charset=utf-8" (Dashboard.page ())
+      | "GET", "/api/windows" ->
+          reply 200 "application/json"
+            (Json.to_string (Obs.Window.to_json t.window) ^ "\n")
+      | "GET", path when String.starts_with ~prefix:trace_route path -> (
+          let id =
+            String.sub path (String.length trace_route)
+              (String.length path - String.length trace_route)
+          in
+          match Trace_store.find t.traces id with
+          | Some payload -> reply 200 "application/json" (payload ^ "\n")
+          | None -> reply_error 404 ("no retained trace for request " ^ id))
+      | _, ("/healthz" | "/metrics" | "/journal" | "/dashboard" | "/api/windows")
+        ->
+          method_not_allowed "GET"
+      | _, path when String.starts_with ~prefix:trace_route path ->
+          method_not_allowed "GET"
+      | ("GET" | "HEAD" | "POST"), _ -> reply_error 404 "no such route"
       | _ ->
           let status, ct, body = json_error 405 "method not allowed" in
-          (status, ct, body, [ ("Allow", "GET, POST") ], "-"))
+          reply ~headers:[ ("Allow", "GET, POST") ] status ct body)
+
+(* Endpoint label for window series, access entries and labeled
+   counters: the request path for known routes, "other" for noise —
+   labels must stay low-cardinality, so the raw path of a 404 never
+   becomes one. *)
+let endpoint_label (req : Http.request) =
+  match Api.endpoint_of_path req.Http.path with
+  | Some e -> "/api/" ^ Api.endpoint_name e
+  | None -> (
+      match req.Http.path with
+      | ("/healthz" | "/metrics" | "/journal" | "/dashboard" | "/api/windows"
+        | "/events") as p ->
+          p
+      | p when String.starts_with ~prefix:trace_route p -> "/api/trace"
+      | _ -> "other")
+
+(* The post-send fan-out: lifetime metrics, rolling window, root
+   journal, access log, SSE.  Everything here is an in-memory append
+   under a short lock — the two sinks that do real I/O (log file, SSE
+   peers) run on their own domains and absorb or drop. *)
+let record_access t (req : Http.request) (rep : reply) ~request_id ~tp ~dur_us =
+  let r = t.root.Obs.Context.metrics in
+  let ep = endpoint_label req in
+  observe_request t
+    ~endpoint:
+      (match Api.endpoint_of_path req.Http.path with
+      | Some e -> Api.endpoint_name e
+      | None -> "other")
+    ~status:rep.r_status
+    ~cache_state:
+      (match rep.r_cache with
+      | "hit" -> Some true
+      | "miss" -> Some false
+      | _ -> None)
+    ~dur_us;
+  Obs.Metrics.incr ~registry:r
+    (Obs.Openmetrics.labeled "serve.requests"
+       [ ("endpoint", ep); ("status", string_of_int rep.r_status) ]);
+  Obs.Window.add t.window ep;
+  Obs.Window.observe t.window ep dur_us;
+  let fields =
+    [
+      ("id", Json.Int request_id);
+      ("method", Json.String req.Http.meth);
+      ("path", Json.String req.Http.path);
+      ("endpoint", Json.String ep);
+      ("status", Json.Int rep.r_status);
+      ("cache", Json.String rep.r_cache);
+      ("latency_us", Json.Float dur_us);
+      ("spans", Json.Int rep.r_spans);
+      ("trace_id", Json.String tp.Traceparent.trace_id);
+      ("trace_stored", Json.Bool rep.r_trace_stored);
+    ]
+    @
+    match rep.r_model with
+    | Some h -> [ ("model", Json.String h) ]
+    | None -> []
+  in
+  Obs.Journal.record_in t.root.Obs.Context.journal ~fields "serve.access";
+  (match t.access with
+  | Some log ->
+      let line =
+        Json.to_string
+          (Json.Obj (("ts", Json.Float (Unix.gettimeofday ())) :: fields))
+      in
+      if not (Access_log.append log line) then
+        Obs.Metrics.incr ~registry:r "access_log.dropped"
+  | None -> ());
+  let drops =
+    Events_hub.publish t.hub
+      (Sse.frame ~name:"request" (Json.to_string (Json.Obj fields)))
+  in
+  if drops > 0 then Obs.Metrics.incr ~registry:r ~by:drops "serve.events.dropped"
+
+(* [/events]: write the response head and hello frame into the hub's
+   outbox and hand the socket over — the conversation (and its worker
+   slot) ends here, the pump domain owns the fd from now on. *)
+let sse_greeting t ~request_id =
+  let head =
+    String.concat "\r\n"
+      [
+        "HTTP/1.1 200 OK";
+        "Server: umlfront/1.0";
+        "Content-Type: text/event-stream";
+        "Cache-Control: no-cache";
+        "X-Request-Id: " ^ string_of_int request_id;
+        "Connection: close";
+        "";
+        "";
+      ]
+  in
+  let hello =
+    Json.to_string
+      (Json.Obj
+         [
+           ("server", Json.String "umlfront");
+           ("port", Json.Int t.bound_port);
+           ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+         ])
+  in
+  head ^ Sse.frame ~name:"hello" hello
 
 (* The whole conversation on one accepted connection: decode (with
    pipelining — a second buffered request surfaces on the next [next]),
    dispatch, reply, loop while keep-alive.  A codec error is terminal
-   for the connection: framing is lost, answer once and close. *)
+   for the connection: framing is lost, answer once and close.
+   Returns [`Hijacked] when the fd now belongs to the events hub. *)
 let conversation t fd =
   let dec = Http.decoder ~max_body:t.config.max_body () in
   let buf = Bytes.create 8192 in
@@ -257,29 +489,51 @@ let conversation t fd =
     match Http.next dec with
     | `Request req ->
         let t0 = Unix.gettimeofday () in
-        let status, content_type, body, headers, cache_state = handle t req in
-        let close = Atomic.get t.stopping || not (Http.keep_alive req) in
-        send fd (Http.response ~headers ~content_type ~close ~status body);
-        observe_request t
-          ~endpoint:
-            (match Api.endpoint_of_path req.Http.path with
-            | Some e -> Api.endpoint_name e
-            | None -> "other")
-          ~status
-          ~cache_state:
-            (match cache_state with
-            | "hit" -> Some true
-            | "miss" -> Some false
-            | _ -> None)
-          ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6);
-        if not close then loop ()
+        let request_id = Atomic.fetch_and_add t.request_count 1 in
+        (* Join the caller's trace or start one; either way the
+           response carries this hop's own parent-id. *)
+        let tp =
+          match Option.bind (Http.header req "traceparent") Traceparent.parse with
+          | Some inbound -> Traceparent.child inbound
+          | None -> Traceparent.generate ()
+        in
+        if req.Http.meth = "GET" && req.Http.path = "/events" then
+          if Events_hub.subscribe t.hub fd ~greeting:(sse_greeting t ~request_id)
+          then `Hijacked
+          else begin
+            Obs.Metrics.incr ~registry:t.root.Obs.Context.metrics
+              "serve.events.rejected";
+            send fd
+              (Http.response
+                 ~headers:[ ("Retry-After", "1") ]
+                 ~close:true ~status:503 overload_body);
+            `Done
+          end
+        else begin
+          let rep = handle t ~request_id ~trace_id:tp.Traceparent.trace_id req in
+          let close = Atomic.get t.stopping || not (Http.keep_alive req) in
+          send fd
+            (Http.response
+               ~headers:
+                 (rep.r_headers
+                 @ [
+                     ("X-Request-Id", string_of_int request_id);
+                     ("traceparent", Traceparent.to_string tp);
+                   ])
+               ~content_type:rep.r_content_type ~close ~status:rep.r_status
+               rep.r_body);
+          record_access t req rep ~request_id ~tp
+            ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6);
+          if close then `Done else loop ()
+        end
     | `Error e ->
         let status = Http.error_status e in
         let _, content_type, body = json_error status (Http.error_message e) in
-        send fd (Http.response ~content_type ~close:true ~status body)
+        send fd (Http.response ~content_type ~close:true ~status body);
+        `Done
     | `Await -> (
         match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 -> () (* peer closed *)
+        | 0 -> `Done (* peer closed *)
         | n ->
             Http.feed dec (Bytes.sub_string buf 0 n);
             loop ()
@@ -287,21 +541,24 @@ let conversation t fd =
         | exception
             Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
             (* idle past the read timeout *)
-            ())
+            `Done)
   in
   loop ()
 
 let handle_connection t fd =
+  let hijacked = ref false in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if not !hijacked then (try Unix.close fd with Unix.Unix_error _ -> ());
       Atomic.decr t.inflight_count)
     (fun () ->
       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout_s
        with Unix.Unix_error _ -> ());
-      try conversation t fd with
-      | Unix.Unix_error _ -> () (* torn connection: nothing to answer *)
-      | e ->
+      match conversation t fd with
+      | `Hijacked -> hijacked := true
+      | `Done -> ()
+      | exception Unix.Unix_error _ -> () (* torn connection: nothing to answer *)
+      | exception e ->
           (* Anything else is a server bug — but it must cost one 500,
              not a silently dead worker domain. *)
           Obs.Metrics.incr ~registry:t.root.Obs.Context.metrics
@@ -370,6 +627,13 @@ let start ?(config = default_config) () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let window = Obs.Window.create () in
+  let hub =
+    Events_hub.create
+      ~heartbeat:(fun () ->
+        Sse.frame ~name:"window" (Json.to_string (Obs.Window.to_json window)))
+      ()
+  in
   let t =
     {
       config;
@@ -385,6 +649,10 @@ let start ?(config = default_config) () =
       request_count = Atomic.make 0;
       stopping = Atomic.make false;
       started_at = Unix.gettimeofday ();
+      window;
+      traces = Trace_store.create ();
+      hub;
+      access = Option.map (fun path -> Access_log.create ~path) config.access_log;
       acceptor = None;
     }
   in
@@ -398,5 +666,7 @@ let stop t =
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     (match t.acceptor with Some d -> Domain.join d | None -> ());
     t.acceptor <- None;
-    Pool.shutdown t.workers
+    Pool.shutdown t.workers;
+    Events_hub.stop t.hub;
+    Option.iter Access_log.close t.access
   end

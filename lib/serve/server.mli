@@ -17,8 +17,25 @@
       options in the query string ({!Api.options_of_query}), JSON out;
     - [GET /healthz] — liveness, uptime, in-flight count;
     - [GET /metrics] — OpenMetrics exposition of the server's root
-      telemetry context plus cache gauges;
-    - [GET /journal] — the merged run journal as a JSON list.
+      telemetry context, cache gauges and rolling per-endpoint
+      req/s + latency quantiles as labeled series;
+    - [GET /journal] — the merged run journal as a JSON list;
+    - [GET /api/windows] — the rolling {!Umlfront_obs.Window} snapshot
+      (10 s / 1 m / 5 m) as JSON;
+    - [GET /api/trace/ID] — the retained Chrome-trace span tree of
+      request ID (kept when the request said [?trace=1] or fell in
+      [trace_sample]);
+    - [GET /events] — an SSE stream of request events and window
+      snapshots (the heartbeat), served by a dedicated pump domain;
+    - [GET /dashboard] — a self-contained live HTML view over
+      [/events].
+
+    Every request is numbered ([X-Request-Id]), joins or starts a W3C
+    trace ([traceparent] echoed in the response), lands in the rolling
+    window and the root journal ([serve.access] entries), and — when
+    [access_log] is set — is appended as one JSON line by a writer
+    domain that never blocks the request path (full queue = dropped
+    line + [umlfront_access_log_dropped_total]).
 
     Each compute request runs in its own forked {!Umlfront_obs.Context}
     (so concurrent requests observe fully disjoint telemetry) whose
@@ -37,11 +54,15 @@ type config = {
   max_inflight : int;  (** admission-control bound on open connections *)
   timeout_s : float;  (** per-request compute deadline, and socket read timeout *)
   max_body : int;  (** request-body bound (413 beyond it) *)
+  access_log : string option;  (** JSONL access-log path; [None] disables *)
+  trace_sample : float;
+      (** fraction of requests whose span tree is retained (0..1);
+          [?trace=1] retains regardless *)
 }
 
 val default_config : config
 (** Port 0, 2 workers, 32 MiB cache, 64 in flight, 30 s timeout,
-    8 MiB bodies. *)
+    8 MiB bodies, no access log, no sampling. *)
 
 type t
 
@@ -64,3 +85,17 @@ val root : t -> Umlfront_obs.Context.t
 
 val cache_stats : t -> Cache.stats
 val inflight : t -> int
+
+val window : t -> Umlfront_obs.Window.t
+(** The rolling window every request is recorded into (per-endpoint
+    counters and latency samples) — what [/api/windows], the SSE
+    heartbeat and the [/metrics] rolling gauges read. *)
+
+val subscribers : t -> int
+(** Live [/events] subscribers. *)
+
+val events_dropped : t -> int
+(** SSE frames dropped on full subscriber outboxes (slow consumers). *)
+
+val access_log_dropped : t -> int
+(** Access-log lines dropped on a full writer queue; 0 without a log. *)

@@ -1,0 +1,92 @@
+(* Server-Sent Events framing: the wire format of [GET /events].
+
+   A frame is `event:`/`id:`/`data:` field lines followed by one blank
+   line; multi-line data renders as one `data:` line per payload line
+   and is re-joined with '\n' on parse (per the WHATWG EventSource
+   algorithm).  The serializer is used by the server's broadcast hub,
+   the incremental parser by {!Serve_client.events} and the test
+   suite — sharing them keeps both ends honest about the framing. *)
+
+type event = {
+  name : string option;  (** the [event:] field; None = default "message" *)
+  id : string option;
+  data : string;
+}
+
+let frame ?name ?id data =
+  let buf = Buffer.create (64 + String.length data) in
+  Option.iter (fun n -> Buffer.add_string buf ("event: " ^ n ^ "\n")) name;
+  Option.iter (fun i -> Buffer.add_string buf ("id: " ^ i ^ "\n")) id;
+  List.iter
+    (fun line -> Buffer.add_string buf ("data: " ^ line ^ "\n"))
+    (String.split_on_char '\n' data);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* A comment line (": ..."), legal filler that EventSource ignores —
+   the hub sends one as a keep-alive when it has nothing to say. *)
+let comment text = ": " ^ text ^ "\n\n"
+
+(* --- incremental parser ---------------------------------------------- *)
+
+type parser_state = {
+  mutable pending : string;
+  mutable cur_name : string option;
+  mutable cur_id : string option;
+  mutable cur_data : string list; (* reversed lines *)
+}
+
+let parser () = { pending = ""; cur_name = None; cur_id = None; cur_data = [] }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let field_value line prefix_len =
+  let v = String.sub line prefix_len (String.length line - prefix_len) in
+  if String.length v > 0 && v.[0] = ' ' then String.sub v 1 (String.length v - 1)
+  else v
+
+(* Feed a chunk, return the frames completed by it (in order).  Partial
+   trailing lines stay buffered for the next feed. *)
+let feed p chunk =
+  p.pending <- p.pending ^ chunk;
+  let events = ref [] in
+  let dispatch () =
+    if p.cur_name <> None || p.cur_id <> None || p.cur_data <> [] then begin
+      events :=
+        {
+          name = p.cur_name;
+          id = p.cur_id;
+          data = String.concat "\n" (List.rev p.cur_data);
+        }
+        :: !events;
+      p.cur_name <- None;
+      p.cur_id <- None;
+      p.cur_data <- []
+    end
+  in
+  let line l =
+    let l = strip_cr l in
+    if l = "" then dispatch ()
+    else if String.length l > 0 && l.[0] = ':' then () (* comment *)
+    else if String.starts_with ~prefix:"event:" l then
+      p.cur_name <- Some (field_value l 6)
+    else if String.starts_with ~prefix:"id:" l then
+      p.cur_id <- Some (field_value l 3)
+    else if String.starts_with ~prefix:"data:" l then
+      p.cur_data <- field_value l 5 :: p.cur_data
+    else () (* unknown field: ignored, per spec *)
+  in
+  let rec consume () =
+    match String.index_opt p.pending '\n' with
+    | None -> ()
+    | Some i ->
+        let l = String.sub p.pending 0 i in
+        p.pending <-
+          String.sub p.pending (i + 1) (String.length p.pending - i - 1);
+        line l;
+        consume ()
+  in
+  consume ();
+  List.rev !events

@@ -224,6 +224,38 @@ let crane_spans () =
   Obs.Context.with_current ctx (fun () ->
       Obs.Span_tree.render ~timings:false (Obs.Trace.events ()))
 
+(* A deterministic registry exercising every OpenMetrics shape —
+   counter, gauge, histogram summary — and, under [~labels:true], the
+   same families again with label blocks interleaved.  The unlabeled
+   rendering must stay byte-identical whether or not labeled series
+   coexist, so both goldens share one builder. *)
+let openmetrics_golden ~labels () =
+  let r = Obs.Metrics.create () in
+  let registry = r in
+  Obs.Metrics.incr ~registry ~by:5 "serve.requests";
+  Obs.Metrics.set_gauge ~registry "serve.inflight" 2.0;
+  List.iter
+    (Obs.Metrics.observe ~registry "serve.request_us")
+    [ 100.0; 200.0; 300.0; 400.0 ];
+  if labels then begin
+    let lab = Obs.Openmetrics.labeled in
+    Obs.Metrics.incr ~registry ~by:3
+      (lab "serve.requests" [ ("endpoint", "/api/lint"); ("status", "200") ]);
+    Obs.Metrics.incr ~registry ~by:2
+      (lab "serve.requests" [ ("endpoint", "/api/lint"); ("status", "422") ]);
+    Obs.Metrics.set_gauge ~registry
+      (lab "serve.rolling.p95_us" [ ("endpoint", "/api/lint"); ("window", "60s") ])
+      1500.0;
+    List.iter
+      (Obs.Metrics.observe ~registry
+         (lab "serve.request_us" [ ("endpoint", "/api/lint") ]))
+      [ 110.0; 220.0 ];
+    (* Values needing escaping: backslash, quote, newline. *)
+    Obs.Metrics.incr ~registry
+      (lab "serve.odd" [ ("path", "a\\b\"c\nd") ])
+  end;
+  Obs.Openmetrics.render (Obs.Metrics.snapshot ~registry ())
+
 (* The renderable golden files, keyed by file name under test/golden/;
    golden_gen.exe prints one of these, the dune diff rules pin each
    byte-for-byte. *)
@@ -248,6 +280,12 @@ let goldens =
         Umlfront_serve.Http.response
           ~headers:[ ("X-Cache", "hit") ]
           ~date:"Sun, 09 Aug 2026 12:00:00 GMT" ~status:200 "{\"ok\":true}\n" );
+    (* The OpenMetrics exposition format, pinned twice: once without
+       labels (the wire format every scraper has depended on since the
+       first /metrics), once with label blocks — proving labels change
+       only the lines that carry them. *)
+    ("openmetrics.unlabeled.txt", fun () -> openmetrics_golden ~labels:false ());
+    ("openmetrics.labeled.txt", fun () -> openmetrics_golden ~labels:true ());
   ]
 
 let golden_names = List.map fst goldens

@@ -27,6 +27,9 @@ module Cache = Umlfront_serve.Cache
 module Api = Umlfront_serve.Api
 module Server = Umlfront_serve.Server
 module Client = Umlfront_serve.Serve_client
+module Sse = Umlfront_serve.Sse
+module Traceparent = Umlfront_serve.Traceparent
+module Events_hub = Umlfront_serve.Events_hub
 module A = Umlfront_analysis
 module Conf = Umlfront_conformance.Conform
 module R = Umlfront_casestudies.Random_models
@@ -775,6 +778,353 @@ let hammer_tests =
            true));
   ]
 
+(* --- observability: SSE framing, traceparent, the events hub --------- *)
+
+let sse_framing () =
+  check Alcotest.string "named frame" "event: request\nid: 7\ndata: {}\n\n"
+    (Sse.frame ~name:"request" ~id:"7" "{}");
+  check Alcotest.string "multi-line data becomes multiple data lines"
+    "data: a\ndata: b\n\n" (Sse.frame "a\nb");
+  check Alcotest.string "comment keep-alive" ": hb\n\n" (Sse.comment "hb")
+
+let sse_parser_torn_input () =
+  let p = Sse.parser () in
+  (* One frame delivered a byte at a time must parse identically. *)
+  let frame = Sse.frame ~name:"window" ~id:"3" "x\ny" in
+  let got = ref [] in
+  String.iter
+    (fun c -> got := !got @ Sse.feed p (String.make 1 c))
+    (Sse.comment "noise" ^ frame);
+  (match !got with
+  | [ e ] ->
+      check Alcotest.(option string) "name" (Some "window") e.Sse.name;
+      check Alcotest.(option string) "id" (Some "3") e.Sse.id;
+      check Alcotest.string "multi-line data rejoined" "x\ny" e.Sse.data
+  | es -> Alcotest.failf "expected one event, got %d" (List.length es));
+  (* CRLF line endings and the optional space after the colon are both
+     tolerated; a frame without a blank line stays pending. *)
+  let p = Sse.parser () in
+  check Alcotest.int "no dispatch before the blank line" 0
+    (List.length (Sse.feed p "event:request\r\ndata:body\r\n"));
+  match Sse.feed p "\r\n" with
+  | [ e ] ->
+      check Alcotest.(option string) "name without space" (Some "request") e.Sse.name;
+      check Alcotest.string "data without space" "body" e.Sse.data
+  | es -> Alcotest.failf "expected one event after blank line, got %d" (List.length es)
+
+let traceparent_parse_strictness () =
+  let ok = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" in
+  (match Traceparent.parse ok with
+  | Some t ->
+      checkb "sampled bit" (Traceparent.sampled t);
+      check Alcotest.string "round-trip" ok (Traceparent.to_string t)
+  | None -> Alcotest.fail "valid traceparent rejected");
+  List.iter
+    (fun bad -> checkb ("rejects " ^ bad) (Traceparent.parse bad = None))
+    [
+      "";
+      "00-short-b7ad6b7169203331-01";
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331";
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01";
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01";
+      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01";
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333g-01";
+    ];
+  (* Minted ids parse, and a child stays in the parent's trace under a
+     fresh span id. *)
+  let t = Traceparent.generate () in
+  checkb "generated id parses"
+    (Traceparent.parse (Traceparent.to_string t) = Some t);
+  let c = Traceparent.child t in
+  check Alcotest.string "child keeps the trace id" t.Traceparent.trace_id
+    c.Traceparent.trace_id;
+  checkb "child gets a fresh parent id"
+    (c.Traceparent.parent_id <> t.Traceparent.parent_id)
+
+let traceparent_roundtrip_prop =
+  let hex n =
+    QCheck.Gen.(
+      string_size ~gen:(map (fun i -> "0123456789abcdef".[i]) (int_bound 15))
+        (return n))
+  in
+  let fix_zero s =
+    if String.for_all (( = ) '0') s then
+      "1" ^ String.sub s 1 (String.length s - 1)
+    else s
+  in
+  let gen =
+    QCheck.make
+      ~print:(fun t -> Traceparent.to_string t)
+      QCheck.Gen.(
+        map3
+          (fun tid pid flags ->
+            {
+              Traceparent.trace_id = fix_zero tid;
+              parent_id = fix_zero pid;
+              flags;
+            })
+          (hex 32) (hex 16) (int_bound 255))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"traceparent to_string/parse round-trips" ~count:200 gen
+       (fun t -> Traceparent.parse (Traceparent.to_string t) = Some t))
+
+(* The hub in isolation, over a socketpair: frames reach a reading
+   subscriber, an outbox too small for the frame drops it (and counts
+   it) instead of blocking, and the subscriber cap holds. *)
+let events_hub_delivery_and_drops () =
+  let hub =
+    Events_hub.create ~max_subs:1 ~max_outbox:48 ~heartbeat_s:60.0
+      ~heartbeat:(fun () -> Sse.comment "hb")
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Events_hub.stop hub)
+  @@ fun () ->
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  checkb "subscribed" (Events_hub.subscribe hub a ~greeting:"hello\n\n");
+  check Alcotest.int "one subscriber" 1 (Events_hub.subscribers hub);
+  let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  checkb "cap refuses a second subscriber"
+    (not (Events_hub.subscribe hub c ~greeting:""));
+  Unix.close c;
+  Unix.close d;
+  check Alcotest.int "small frame delivered to every outbox" 0
+    (Events_hub.publish hub (Sse.frame "ping"));
+  (* Read until both greeting and frame came through the pump. *)
+  (try Unix.setsockopt_float b Unix.SO_RCVTIMEO 2.0 with Unix.Unix_error _ -> ());
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 64 in
+  let rec drain () =
+    if not (Astring_contains.contains (Buffer.contents acc) "data: ping") then (
+      let n = Unix.read b buf 0 (Bytes.length buf) in
+      if n > 0 then (
+        Buffer.add_subbytes acc buf 0 n;
+        drain ()))
+  in
+  (try drain () with Unix.Unix_error _ -> ());
+  let got = Buffer.contents acc in
+  checkb "greeting written first" (Astring_contains.contains got "hello");
+  checkb "published frame pumped out" (Astring_contains.contains got "data: ping");
+  (* A frame bigger than the whole outbox can never be queued: dropped
+     and counted, publish does not block. *)
+  check Alcotest.int "oversized frame dropped for the one subscriber" 1
+    (Events_hub.publish hub (Sse.frame (String.make 100 'x')));
+  check Alcotest.int "drop counted" 1 (Events_hub.dropped hub)
+
+let obs_unit_tests =
+  [
+    test "sse framing" sse_framing;
+    test "sse parser handles torn chunks, CRLF and comments" sse_parser_torn_input;
+    test "traceparent parse is strict" traceparent_parse_strictness;
+    traceparent_roundtrip_prop;
+    test "events hub delivers and drops without blocking" events_hub_delivery_and_drops;
+  ]
+
+(* --- observability end to end ---------------------------------------- *)
+
+let obs_e2e_tests =
+  [
+    test "every response carries a parseable traceparent; inbound is joined"
+      (fun () ->
+        with_server @@ fun s ->
+        let r = get s "/healthz" in
+        let minted =
+          match Client.traceparent r with
+          | Some tp -> tp
+          | None -> Alcotest.fail "no traceparent on the response"
+        in
+        checkb "minted traceparent parses" (Traceparent.parse minted <> None);
+        let inbound = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" in
+        let r2 =
+          Client.request
+            ~headers:[ ("traceparent", inbound) ]
+            ~port:(Server.port s) ~meth:"GET" "/healthz"
+        in
+        match Option.bind (Client.traceparent r2) Traceparent.parse with
+        | Some t ->
+            check Alcotest.string "same trace id"
+              "0af7651916cd43dd8448eb211c80319c" t.Traceparent.trace_id;
+            checkb "fresh span id" (t.Traceparent.parent_id <> "b7ad6b7169203331")
+        | None -> Alcotest.fail "echoed traceparent missing or malformed");
+    test "?trace=1 retains the span tree as Chrome trace JSON" (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        let r = post s "/api/lint?trace=1" xmi in
+        check Alcotest.int "200" 200 r.Client.status;
+        let id =
+          match Client.request_id r with
+          | Some id -> id
+          | None -> Alcotest.fail "no X-Request-Id"
+        in
+        let tr = Client.trace ~port:(Server.port s) id in
+        check Alcotest.int "trace retrievable" 200 tr.Client.status;
+        check Alcotest.(option string) "trace is JSON" (Some "application/json")
+          (Client.header tr "content-type");
+        let doc = Json.parse_exn tr.Client.body in
+        let events = Json.items (Option.get (Json.member "traceEvents" doc)) in
+        checkb "span events present" (List.length events > 0);
+        List.iter
+          (fun e ->
+            List.iter
+              (fun key -> checkb (key ^ " present") (Json.member key e <> None))
+              [ "name"; "ph"; "ts" ])
+          events;
+        let other = Option.get (Json.member "otherData" doc) in
+        checkb "endpoint recorded"
+          (Json.member "endpoint" other = Some (Json.String "lint"));
+        (* A cache hit with ?trace=1 still retains a (one-span) tree
+           under its own request id. *)
+        let r2 = post s "/api/lint?trace=1" xmi in
+        check Alcotest.(option string) "second request hits" (Some "hit")
+          (Client.header r2 "x-cache");
+        let id2 = Option.get (Client.request_id r2) in
+        checkb "distinct request ids" (id <> id2);
+        let tr2 = Client.trace ~port:(Server.port s) id2 in
+        check Alcotest.int "hit trace retrievable" 200 tr2.Client.status;
+        checkb "hit trace marks the cache"
+          (Astring_contains.contains tr2.Client.body "serve.cache.hit"));
+    test "unsampled requests retain nothing; trace_sample 1.0 retains all"
+      (fun () ->
+        (with_server @@ fun s ->
+         let r = post s "/api/lint" (Lazy.force didactic_xmi) in
+         let id = Option.get (Client.request_id r) in
+         check Alcotest.int "no trace kept" 404
+           (Client.trace ~port:(Server.port s) id).Client.status);
+        with_server
+          ~config:{ Server.default_config with Server.trace_sample = 1.0 }
+        @@ fun s ->
+        let r = post s "/api/lint" (Lazy.force didactic_xmi) in
+        let id = Option.get (Client.request_id r) in
+        check Alcotest.int "sampled trace kept" 200
+          (Client.trace ~port:(Server.port s) id).Client.status);
+    test "/api/windows and the labeled rolling series reflect traffic"
+      (fun () ->
+        with_server @@ fun s ->
+        let xmi = Lazy.force didactic_xmi in
+        check Alcotest.int "lint" 200 (post s "/api/lint" xmi).Client.status;
+        check Alcotest.int "lint again" 200 (post s "/api/lint" xmi).Client.status;
+        let w = Client.windows ~port:(Server.port s) in
+        check Alcotest.int "windows endpoint" 200 w.Client.status;
+        let doc = Json.parse_exn w.Client.body in
+        let windows = Json.items (Option.get (Json.member "windows" doc)) in
+        check Alcotest.int "three windows" 3 (List.length windows);
+        let ten = List.hd windows in
+        let series = Option.get (Json.member "series" ten) in
+        (match Json.member "/api/lint" series with
+        | Some ep ->
+            checkb "both requests counted"
+              (Json.member "count" ep = Some (Json.Int 2));
+            checkb "latency quantiles present" (Json.member "p95" ep <> None)
+        | None -> Alcotest.fail "no /api/lint series in the 10s window");
+        let m = (get s "/metrics").Client.body in
+        checkb "labeled request counter"
+          (Astring_contains.contains m
+             "umlfront_serve_requests_total{endpoint=\"/api/lint\",status=\"200\"} 2");
+        checkb "rolling p95 gauge, labeled by endpoint and window"
+          (Astring_contains.contains m
+             "umlfront_serve_rolling_p95_us{endpoint=\"/api/lint\",window=\"60s\"}"));
+    test "dashboard is a self-contained live page over /events" (fun () ->
+        with_server @@ fun s ->
+        let r = Client.dashboard ~port:(Server.port s) in
+        check Alcotest.int "200" 200 r.Client.status;
+        check Alcotest.(option string) "html"
+          (Some "text/html; charset=utf-8")
+          (Client.header r "content-type");
+        checkb "subscribes to /events"
+          (Astring_contains.contains r.Client.body "new EventSource(\"/events\")");
+        checkb "no external resources"
+          (not (Astring_contains.contains r.Client.body "http://")
+          && not (Astring_contains.contains r.Client.body "https://")));
+    test "/events greets, then streams request frames" (fun () ->
+        with_server @@ fun s ->
+        let port = Server.port s in
+        let consumer =
+          Domain.spawn (fun () ->
+              Client.events ~max_events:3 ~timeout_s:8.0 ~port ())
+        in
+        (* Let the subscriber land, then generate traffic it will see. *)
+        let rec wait n =
+          if Server.subscribers s = 0 && n > 0 then (
+            Unix.sleepf 0.01;
+            wait (n - 1))
+        in
+        wait 500;
+        check Alcotest.int "subscriber registered" 1 (Server.subscribers s);
+        for _ = 1 to 3 do
+          ignore (get s "/healthz")
+        done;
+        let events = Domain.join consumer in
+        check Alcotest.int "three frames collected" 3 (List.length events);
+        (match events with
+        | hello :: _ ->
+            check Alcotest.(option string) "hello first" (Some "hello")
+              hello.Sse.name;
+            checkb "hello is JSON with the port"
+              (Json.member "port"
+                 (Json.parse_exn hello.Sse.data)
+              = Some (Json.Int port))
+        | [] -> Alcotest.fail "no events");
+        checkb "request or window frames follow"
+          (List.exists
+             (fun e -> e.Sse.name = Some "request" || e.Sse.name = Some "window")
+             (List.tl events)));
+    test "access log is parseable JSONL written off the request path"
+      (fun () ->
+        let path = Filename.temp_file "umlfront_access" ".jsonl" in
+        Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        (with_server
+           ~config:{ Server.default_config with Server.access_log = Some path }
+        @@ fun s ->
+         let xmi = Lazy.force didactic_xmi in
+         check Alcotest.int "lint" 200 (post s "/api/lint" xmi).Client.status;
+         check Alcotest.int "healthz" 200 (get s "/healthz").Client.status;
+         check Alcotest.int "no lines dropped" 0 (Server.access_log_dropped s));
+        (* stop joined the writer domain, so the file is complete. *)
+        let lines =
+          read_file path |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "one line per request" 2 (List.length lines);
+        List.iter
+          (fun line ->
+            let doc = Json.parse_exn line in
+            List.iter
+              (fun key -> checkb (key ^ " present") (Json.member key doc <> None))
+              [ "ts"; "id"; "endpoint"; "status"; "cache"; "latency_us"; "trace_id" ])
+          lines;
+        checkb "endpoints recorded"
+          (Astring_contains.contains (read_file path) "\"/api/lint\""));
+    test "a slow /events consumer cannot stall the request path" (fun () ->
+        with_server @@ fun s ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port s));
+        let head = "GET /events HTTP/1.1\r\nHost: x\r\n\r\n" in
+        ignore (Unix.write_substring fd head 0 (String.length head));
+        let rec wait n =
+          if Server.subscribers s = 0 && n > 0 then (
+            Unix.sleepf 0.01;
+            wait (n - 1))
+        in
+        wait 500;
+        check Alcotest.int "subscribed but never reading" 1 (Server.subscribers s);
+        (* The stalled subscriber must not slow the serving path: every
+           request still answers promptly. *)
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to 30 do
+          check Alcotest.int "request unaffected" 200 (get s "/healthz").Client.status
+        done;
+        checkb "30 requests finish promptly despite the dead subscriber"
+          (Unix.gettimeofday () -. t0 < 20.0));
+  ]
+
 let suite =
   [
     ("serve:sha256", sha256_tests);
@@ -782,6 +1132,8 @@ let suite =
     ("serve:cache", cache_tests);
     ("serve:api", api_tests);
     ("serve:json", roundtrip_tests);
+    ("serve:obs", obs_unit_tests);
     ("serve:e2e", e2e_tests);
+    ("serve:obs-e2e", obs_e2e_tests);
     ("serve:hammer", hammer_tests);
   ]
